@@ -1,0 +1,181 @@
+"""Table 5: per-batch training time — BlindFL vs SecureML vs client-aided.
+
+Reproduces the table's three columns on the scaled Table-4 datasets (see
+``repro.data.catalog`` for the scale factors).  As in the paper, only the
+matrix-multiplication work is timed (forward + gradient products), and the
+cells the paper reports as "> 1800 s" / "OOM" are reproduced the same way:
+crypto-offline cells are extrapolated from a calibrated unit cost and
+reported as "> limit" when they exceed the budget, and outsourcing at the
+*paper's* dimensionalities trips the densification memory guard (OOM).
+
+Expected shape (the paper's conclusions):
+* BlindFL beats SecureML-crypto everywhere, by more on sparser data;
+* SecureML-crypto cannot finish the high-dimensional rows;
+* client-aided wins on low-dimensional data but its dense cost grows with
+  dimensionality while BlindFL's crypto cost stays ~ nnz.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.secureml import SecureMLCostModel, SecureMLMatMul, outsource
+from repro.comm.party import VFLConfig, VFLContext
+from repro.core.matmul_layer import MatMulSource
+from repro.crypto.beaver import encode_ring, share_ring
+from repro.data.catalog import CATALOG
+from repro.data.synthetic import make_dense_classification, make_sparse_classification
+from repro.data.partition import split_vertical
+from repro.utils.tabulate import format_table
+from repro.utils.timer import Timer
+
+BATCH = 32  # paper uses 128; scaled with the datasets
+KEY_BITS = 128
+RUN_LIMIT_SECONDS = 10.0  # run the crypto cell for real below this estimate
+CRYPTO_LIMIT_SECONDS = 30.0  # report "> limit" beyond this (paper: "> 1800")
+
+# dataset -> out_dim of the timed source layer
+ROWS = [
+    ("a9a", 1),
+    ("w8a", 1),
+    ("connect-4", 8),  # MLP first layer
+    ("higgs", 1),
+    ("news20", 20),
+    ("avazu-app", 1),
+    ("industry", 1),
+]
+
+_results: list[list[object]] = []
+
+
+def _batch_for(name: str, rng: np.random.Generator):
+    entry = CATALOG[name]
+    if entry.kind == "dense":
+        ds = make_dense_classification(BATCH, entry.dim, seed=1)
+    else:
+        ds = make_sparse_classification(BATCH, entry.dim, entry.avg_nnz, seed=1)
+    vd = split_vertical(ds)
+    return vd.party("A").numeric_block(), vd.party("B").numeric_block(), entry
+
+
+def _blindfl_iteration_factory(name: str, out_dim: int):
+    rng = np.random.default_rng(0)
+    x_a, x_b, entry = _batch_for(name, rng)
+    ctx = VFLContext(
+        VFLConfig(key_bits=KEY_BITS, share_refresh="delta"), seed=2
+    )
+    half = entry.dim // 2
+    layer = MatMulSource(ctx, half, entry.dim - half, out_dim, name=f"t5-{name}")
+    grad = rng.normal(size=(BATCH, out_dim)) * 0.01
+
+    def one_iteration():
+        layer.forward(x_a, x_b)
+        layer.backward(grad)
+        layer.apply_updates(lr=0.05, momentum=0.9)
+
+    return one_iteration
+
+
+@pytest.mark.parametrize("name,out_dim", ROWS, ids=[r[0] for r in ROWS])
+def test_table5_row(benchmark, report, name, out_dim):
+    entry = CATALOG[name]
+    rng = np.random.default_rng(3)
+
+    # ---- BlindFL (timed by pytest-benchmark).
+    blindfl_iter = _blindfl_iteration_factory(name, out_dim)
+    blind_timer = Timer()
+
+    def timed_iteration():
+        with blind_timer:
+            blindfl_iter()
+
+    benchmark.pedantic(timed_iteration, rounds=1, iterations=1, warmup_rounds=0)
+    blindfl_s = blind_timer.elapsed
+
+    # ---- SecureML with crypto triples: run small rows, extrapolate big ones.
+    kernel = SecureMLMatMul(rng, triple_source="crypto", seed=4)
+    cost = SecureMLCostModel.calibrate(kernel, n=2, m=8, k=1)
+    # Forward (B x d x out) + backward (d x B x out) triples per iteration.
+    predicted = cost.predict_seconds(BATCH, entry.dim, out_dim) + cost.predict_seconds(
+        entry.dim, BATCH, out_dim
+    )
+    if predicted < RUN_LIMIT_SECONDS:
+        x_a, x_b, _ = _batch_for(name, rng)
+        dense = np.hstack(
+            [m.to_dense() if hasattr(m, "to_dense") else m for m in (x_a, x_b)]
+        )
+        x_sh = outsource(dense, rng)
+        w_sh = share_ring(encode_ring(rng.normal(size=(entry.dim, out_dim)) * 0.1), rng)
+        kernel.offline_timer.reset()
+        kernel.online_timer.reset()
+        kernel.training_iteration(x_sh, w_sh)
+        secureml_cell: object = round(kernel.total_time, 3)
+        secureml_s = kernel.total_time
+    elif predicted < CRYPTO_LIMIT_SECONDS:
+        secureml_cell = f"~{predicted:.0f} (extrapolated)"
+        secureml_s = predicted
+    else:
+        secureml_cell = f">{CRYPTO_LIMIT_SECONDS:.0f} (extrap {predicted:.0f}s)"
+        secureml_s = predicted
+
+    # ---- Client-aided SecureML: dense arithmetic only.
+    client = SecureMLMatMul(rng, triple_source="client")
+    x_a, x_b, _ = _batch_for(name, rng)
+    dense = np.hstack(
+        [m.to_dense() if hasattr(m, "to_dense") else m for m in (x_a, x_b)]
+    )
+    x_sh = outsource(dense, rng)
+    w_sh = share_ring(encode_ring(rng.normal(size=(entry.dim, out_dim)) * 0.1), rng)
+    timer = Timer()
+    with timer:
+        client.training_iteration(x_sh, w_sh)
+    client_s = timer.elapsed
+
+    speedup = secureml_s / blindfl_s if blindfl_s > 0 else float("inf")
+    _results.append(
+        [
+            f"{name} ({entry.sparsity})",
+            entry.paper_model,
+            round(blindfl_s, 3),
+            secureml_cell,
+            round(client_s, 4),
+            f"{speedup:.0f}x",
+        ]
+    )
+    if name == ROWS[-1][0]:
+        report(
+            "Table 5 — time per mini-batch (s), matrix-multiplication only "
+            f"(batch {BATCH}, {KEY_BITS}-bit keys; paper: batch 128, 2048-bit, "
+            "96 cores)",
+            format_table(
+                ["dataset", "model", "BlindFL", "SecureML", "SecureML(client)",
+                 "BlindFL vs SecureML"],
+                _results,
+            ),
+        )
+
+
+def test_table5_paper_scale_oom(benchmark, report):
+    """The paper-scale avazu/industry rows: outsourcing runs out of memory."""
+    rng = np.random.default_rng(5)
+    rows = []
+
+    def attempt_outsourcing():
+        for name, dim in (("avazu-app", 1_000_000), ("industry", 10_000_000)):
+            sparse = make_sparse_classification(4, 100, 3, seed=6).x_sparse
+            # Reproduce the paper-scale shape without materialising data.
+            sparse.shape = (128, dim)
+            try:
+                outsource(sparse, rng)
+                rows.append([name, dim, "shared (unexpected)"])
+            except MemoryError:
+                rows.append([name, dim, "OOM (densification guard)"])
+
+    benchmark.pedantic(attempt_outsourcing, rounds=1, iterations=1)
+    report(
+        "Table 5 (paper-scale columns) — data outsourcing at the paper's "
+        "dimensionalities",
+        format_table(["dataset", "paper dims", "SecureML outsourcing"], rows),
+    )
+    assert all("OOM" in r[2] for r in rows)

@@ -1,0 +1,38 @@
+"""Benchmark-suite plumbing.
+
+Each bench file reproduces one table or figure of the paper and registers
+a plain-text rendering of it via the ``report`` fixture; the renderings
+are printed in the terminal summary (visible even with output capture on,
+so ``pytest benchmarks/ --benchmark-only | tee bench_output.txt`` records
+the paper-shaped tables alongside pytest-benchmark's timing table).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+_RESULTS: list[tuple[str, str]] = []
+
+
+@pytest.fixture()
+def report():
+    """Register a rendered table for the end-of-run summary."""
+
+    def _report(title: str, text: str) -> None:
+        _RESULTS.append((title, text))
+
+    return _report
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):  # noqa: ARG001
+    if not _RESULTS:
+        return
+    terminalreporter.write_line("")
+    terminalreporter.write_line("=" * 78)
+    terminalreporter.write_line("PAPER REPRODUCTION RESULTS (see EXPERIMENTS.md)")
+    terminalreporter.write_line("=" * 78)
+    for title, text in _RESULTS:
+        terminalreporter.write_line("")
+        terminalreporter.write_line(f"--- {title} ---")
+        for line in text.splitlines():
+            terminalreporter.write_line(line)

@@ -1,0 +1,80 @@
+"""Privacy-attack demonstration: why local bottom models leak (§3, §7.2).
+
+Reproduces the paper's two headline attacks against split learning and
+shows both fail against BlindFL:
+
+1. forward-activation attack (Figure 9): Party A predicts the labels from
+   its own bottom-model output ``X_A W_A``;
+2. backward-derivative attack (Figure 10): Party A clusters the plaintext
+   ``grad_E_A`` it receives by cosine direction and recovers the batch
+   labels.
+
+Run:  python examples/privacy_attacks_demo.py
+"""
+
+import numpy as np
+
+from repro.attacks import (
+    activation_attack_score,
+    attack_accuracy_over_batches,
+)
+from repro.baselines import SplitLinear, SplitWDL, train_split_linear, train_split_wdl
+from repro.comm import VFLConfig, VFLContext
+from repro.core import FederatedLR, FederatedSGD
+from repro.data import BatchLoader, make_dense_classification, make_mixed_classification, split_vertical
+from repro.tensor.losses import bce_with_logits
+from repro.core.trainer import TrainConfig
+
+
+def main() -> None:
+    cfg = TrainConfig(epochs=3, batch_size=32, lr=0.1, momentum=0.9)
+
+    # ----------------------------------------------- attack 1: activations
+    full = make_dense_classification(360, 24, seed=31, flip=0.03, nonlinear=False)
+    train = split_vertical(full.subset(np.arange(260)))
+    test = split_vertical(full.subset(np.arange(260, 360)))
+
+    split_model = SplitLinear(12, 12, seed=0)
+    record = train_split_linear(split_model, train, test, cfg)
+    split_leak = activation_attack_score(record.za_per_epoch[-1], test.y)
+
+    ctx = VFLContext(VFLConfig(key_bits=128), seed=3)
+    fed = FederatedLR(ctx, 12, 12)
+    opt = FederatedSGD(fed, lr=cfg.lr, momentum=cfg.momentum)
+    rng = np.random.default_rng(0)
+    for _ in range(cfg.epochs):
+        for batch in BatchLoader(train, cfg.batch_size, rng=rng):
+            out = fed.forward(batch, train=True)
+            opt.zero_grad()
+            loss = bce_with_logits(out, batch.y)
+            loss.backward()
+            fed.backward_sources()
+            opt.step()
+    blind_leak = activation_attack_score(
+        test.party("A").x_dense @ fed.source._a.u, test.y
+    )
+    print("Attack 1 — Party A predicts labels from its forward values")
+    print(f"  split learning (X_A W_A):  AUC {split_leak:.3f}   <- leaks")
+    print(f"  BlindFL       (X_A U_A):  AUC {blind_leak:.3f}   <- coin flip")
+
+    # ---------------------------------------------- attack 2: derivatives
+    mixed = make_mixed_classification(
+        256, sparse_dim=40, nnz_per_row=6, n_fields=4, vocab_size=10, seed=32
+    )
+    vd = split_vertical(mixed)
+    wdl = SplitWDL(
+        vd.party("A").vocab_sizes, vd.party("B").vocab_sizes,
+        emb_dim=8, n_hidden=3, hidden_dim=32,
+    )
+    rec = train_split_wdl(wdl, vd, TrainConfig(epochs=3, batch_size=32, lr=0.1))
+    grad_attack = attack_accuracy_over_batches(rec.grad_e_a, rec.grad_labels)
+    print("\nAttack 2 — Party A clusters the derivatives it receives")
+    print(f"  split learning (grad_E_A plaintext): {grad_attack:.1%} of labels")
+    print(
+        "  BlindFL: Party A only ever receives [[grad_E_A]] *encrypted* under\n"
+        "  Party B's key — there is nothing to cluster (structural immunity)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+"""Quickstart: two-party federated logistic regression with BlindFL.
+
+Walks the full VFL pipeline of the paper:
+
+1. two parties discover their overlapping instances with PSI;
+2. a federated LR is trained with the MatMul source layer (Figure 6) —
+   neither party ever sees the other's features, the model weights, or
+   any unaggregated activation;
+3. the result is compared against the two non-federated yardsticks
+   (collocated and Party-B-only) to show the lossless property.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.baselines import collocated_view, party_b_view, train_plain, PlainLR
+from repro.comm import VFLConfig, VFLContext
+from repro.core import FederatedLR, TrainConfig, train_federated
+from repro.data import hashed_psi, make_dense_classification, split_vertical
+
+
+def main() -> None:
+    # ------------------------------------------------------------------ data
+    # A bank (Party B, holds labels: did the customer default?) and a social
+    # platform (Party A) each hold 12 features for an overlapping user set.
+    full = make_dense_classification(n=400, dim=24, seed=7, flip=0.05)
+    train, test = full.subset(np.arange(300)), full.subset(np.arange(300, 400))
+
+    # -------------------------------------------------------------------- PSI
+    # Parties only share salted hashes of user ids; the intersection aligns
+    # their rows without revealing non-members.
+    ids_a = [f"user-{i}" for i in range(0, 300)]  # platform's users
+    ids_b = [f"user-{i}" for i in range(0, 300)]  # bank's users (same here)
+    psi = hashed_psi(ids_a, ids_b)
+    print(f"PSI aligned {len(psi.ids)} overlapping instances")
+
+    train_vd = split_vertical(train)
+    test_vd = split_vertical(test)
+
+    # ------------------------------------------------------------- federated
+    ctx = VFLContext(VFLConfig(key_bits=256), seed=0)
+    model = FederatedLR(ctx, in_a=12, in_b=12)
+    config = TrainConfig(epochs=3, batch_size=32, lr=0.1, momentum=0.9)
+    history = train_federated(model, train_vd, config, test_data=test_vd)
+    print(f"BlindFL           test AUC: {history.final_metric:.3f}")
+    mb = ctx.channel.total_bytes() / 2**20
+    print(f"  (communication: {mb:.1f} MiB, "
+          f"{len(ctx.channel.transcript)} protocol messages, zero plaintext)")
+
+    # -------------------------------------------------------------- baselines
+    collocated = train_plain(
+        PlainLR(24), collocated_view(train), config, collocated_view(test)
+    )
+    b_only = train_plain(
+        PlainLR(12, seed=1), party_b_view(train_vd), config, party_b_view(test_vd)
+    )
+    print(f"NonFed-collocated test AUC: {collocated.final_metric:.3f}")
+    print(f"NonFed-Party B    test AUC: {b_only.final_metric:.3f}")
+    print(
+        "\nLossless check: BlindFL ~= collocated "
+        f"(diff {abs(history.final_metric - collocated.final_metric):.3f}), "
+        f"and beats Party-B-only by {history.final_metric - b_only.final_metric:+.3f}"
+    )
+
+
+if __name__ == "__main__":
+    main()

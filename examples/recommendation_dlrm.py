@@ -1,0 +1,64 @@
+"""Click-through-rate prediction with a federated DLRM.
+
+The paper's E-commerce scenario (§1): a shop (Party B) holds purchase
+labels and behavioural features; an ad/social platform (Party A) holds
+interest features for the same users.  The DLRM-style model runs a dense
+MatMul arm and a categorical Embed-MatMul arm through BlindFL source
+layers, then computes feature interactions in the plaintext top model at
+Party B.
+
+Run:  python examples/recommendation_dlrm.py
+"""
+
+import numpy as np
+
+from repro.baselines import PlainDLRM, collocated_view, party_b_view, train_plain
+from repro.comm import VFLConfig, VFLContext
+from repro.core import FederatedDLRM, TrainConfig, train_federated
+from repro.data import make_mixed_classification, split_vertical
+
+
+def main() -> None:
+    full = make_mixed_classification(
+        n=400, sparse_dim=60, nnz_per_row=8, n_fields=4, vocab_size=8, seed=22,
+        flip=0.03,
+    )
+    train, test = full.subset(np.arange(300)), full.subset(np.arange(300, 400))
+    train_vd, test_vd = split_vertical(train), split_vertical(test)
+
+    ctx = VFLContext(VFLConfig(key_bits=128, share_refresh="delta"), seed=2)
+    model = FederatedDLRM(
+        ctx,
+        in_a=30,
+        in_b=30,
+        vocab_a=train_vd.party("A").vocab_sizes,
+        vocab_b=train_vd.party("B").vocab_sizes,
+        emb_dim=4,
+        arm_dim=8,
+        top_hidden=[8],
+    )
+    config = TrainConfig(epochs=3, batch_size=32, lr=0.1, momentum=0.9)
+    history = train_federated(model, train_vd, config, test_data=test_vd)
+    print(f"BlindFL DLRM      test AUC: {history.final_metric:.3f}")
+
+    shop_only = train_plain(
+        PlainDLRM(30, train_vd.party("B").vocab_sizes, emb_dim=4, arm_dim=8),
+        party_b_view(train_vd),
+        config,
+        party_b_view(test_vd),
+    )
+    collocated = train_plain(
+        PlainDLRM(60, list(full.vocab_sizes), emb_dim=4, arm_dim=8),
+        collocated_view(train),
+        config,
+        collocated_view(test),
+    )
+    print(f"Shop-only DLRM    test AUC: {shop_only.final_metric:.3f}")
+    print(f"Collocated DLRM   test AUC: {collocated.final_metric:.3f}")
+    per_iter = ctx.channel.total_bytes() / max(len(history.losses), 1) / 2**10
+    print(f"\nCommunication: ~{per_iter:.0f} KiB per training iteration "
+          "(ciphertexts + shares only).")
+
+
+if __name__ == "__main__":
+    main()

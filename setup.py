@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+The runtime environment has no network access and no ``wheel`` package, so
+pip's PEP-517 editable path (which builds a wheel) is unavailable.  This
+shim lets ``pip install -e . --no-build-isolation --no-use-pep517`` fall
+back to the classic ``setup.py develop`` flow.  All metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

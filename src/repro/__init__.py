@@ -1,0 +1,19 @@
+"""BlindFL reproduction: vertical federated learning without peeking into
+your data (SIGMOD 2022).
+
+Public API overview
+-------------------
+
+* :mod:`repro.core` — the paper's contribution: federated source layers
+  (MatMul, Embed-MatMul), federated models (LR/MLR/MLP/WDL/DLRM), the
+  ``FederatedSGD`` optimizer and the training driver.
+* :mod:`repro.crypto` — Paillier HE, CryptoTensor, secret sharing, Beaver
+  triples.
+* :mod:`repro.tensor` — the numpy autograd engine the top models run on.
+* :mod:`repro.comm` — party/channel runtime with full transcripts.
+* :mod:`repro.baselines` — split learning, SecureML, non-federated.
+* :mod:`repro.attacks` — the privacy attacks of §7.2.
+* :mod:`repro.data` — synthetic Table-4-shaped datasets, PSI, loaders.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,18 @@
+"""The empirical privacy attacks of §7.2."""
+
+from repro.attacks.activation_attack import activation_attack_score
+from repro.attacks.derivative_attack import (
+    attack_accuracy_over_batches,
+    cosine_direction_attack,
+)
+from repro.attacks.feature_similarity import pairwise_distance_correlation
+from repro.attacks.model_attack import PieceLeakageStats, piece_vs_weight_stats
+
+__all__ = [
+    "activation_attack_score",
+    "attack_accuracy_over_batches",
+    "cosine_direction_attack",
+    "pairwise_distance_correlation",
+    "PieceLeakageStats",
+    "piece_vs_weight_stats",
+]

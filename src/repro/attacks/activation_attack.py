@@ -1,0 +1,35 @@
+"""Label inference from forward activations (Figure 9).
+
+§3/§4.2: forward activations are fit to the labels, so a party that can
+compute *any* unaggregated activation — e.g. ``X_A W_A`` when Party A owns
+its bottom model, or ``X_A U_A`` plus a constant offset in the
+ModelSS-without-GradSS ablation — can predict the labels directly.  The
+attack is trivial by design: use the partial logits as scores.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.metrics import accuracy, roc_auc
+
+__all__ = ["activation_attack_score"]
+
+
+def activation_attack_score(
+    partial_logits: np.ndarray, y_true: np.ndarray, n_classes: int = 2
+) -> float:
+    """Score Party A's label guesses made from its partial activations.
+
+    Binary tasks return the AUC of the partial logit as a score (the
+    paper's w8a plot); multi-class tasks the argmax accuracy (the news20
+    plot).  An output near 0.5 AUC / chance accuracy means the activation
+    carries no label signal — BlindFL's target; ~0.9 means leakage.
+    """
+    partial_logits = np.asarray(partial_logits, dtype=np.float64)
+    y_true = np.asarray(y_true).ravel()
+    if n_classes == 2:
+        return roc_auc(y_true, partial_logits.ravel())
+    if partial_logits.ndim != 2 or partial_logits.shape[1] != n_classes:
+        raise ValueError("multi-class attack needs (n, n_classes) activations")
+    return accuracy(y_true, partial_logits.argmax(axis=1))

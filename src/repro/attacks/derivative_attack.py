@@ -1,0 +1,60 @@
+"""Label inference from backward derivatives (Figure 10).
+
+The cosine-direction attack of Li et al. [36], as described in §7.2: for
+binary classification "the backward derivatives for positive and negative
+instances ought to have opposite directions since they contribute
+oppositely to the model".  Party A receives ``grad_E_A`` in the clear under
+split learning; clustering the rows by direction recovers the batch labels
+almost perfectly, *regardless of how many layers separate the embedding
+from the loss*.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["cosine_direction_attack", "attack_accuracy_over_batches"]
+
+
+def cosine_direction_attack(grad_rows: np.ndarray) -> np.ndarray:
+    """Split one batch's derivative rows into two direction clusters.
+
+    Returns a boolean cluster assignment per row.  Rows are normalised and
+    projected onto their dominant singular direction — the robust version
+    of "compare cosine similarities pairwise": the top singular vector of
+    the normalised rows is the axis along which positive and negative
+    instances anti-align, so the projection's sign is the cluster.
+    """
+    grad_rows = np.asarray(grad_rows, dtype=np.float64)
+    if grad_rows.ndim != 2:
+        raise ValueError("expected one gradient row per instance")
+    norms = np.linalg.norm(grad_rows, axis=1, keepdims=True)
+    if not norms.any():
+        return np.zeros(grad_rows.shape[0], dtype=bool)
+    unit = grad_rows / np.maximum(norms, 1e-12)
+    # Dominant right-singular vector of the unit rows.
+    _, _, vt = np.linalg.svd(unit, full_matrices=False)
+    projection = unit @ vt[0]
+    return projection > 0
+
+
+def attack_accuracy_over_batches(
+    grads: list[np.ndarray], labels: list[np.ndarray]
+) -> float:
+    """Fraction of *all* training instances whose label the attack recovers.
+
+    Cluster-to-label assignment is resolved per batch the way an attacker
+    with any side information would (majority matching), i.e. we score
+    ``max(acc, 1 - acc)`` per batch — the standard two-cluster accuracy.
+    """
+    if len(grads) != len(labels) or not grads:
+        raise ValueError("need parallel non-empty grad/label lists")
+    correct = 0
+    total = 0
+    for g, y in zip(grads, labels):
+        y = np.asarray(y).ravel().astype(int)
+        assignment = cosine_direction_attack(g).astype(int)
+        hits = int((assignment == y).sum())
+        correct += max(hits, y.shape[0] - hits)
+        total += y.shape[0]
+    return correct / total

@@ -1,0 +1,44 @@
+"""Party A feature-similarity leakage (§3, Req 2).
+
+"If the features of two instances are very similar, the corresponding
+activations would also be very close" — so Party B observing ``X_A W_A``
+(split learning) learns the similarity structure of Party A's data.  The
+attack statistic: Spearman-style correlation between the pairwise-distance
+matrices of the true features and of the observed values.  Under BlindFL,
+Party B only ever sees masked shares, so the correlation collapses.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["pairwise_distance_correlation"]
+
+
+def pairwise_distance_correlation(
+    features: np.ndarray, observed: np.ndarray
+) -> float:
+    """Correlation of instance-pair distances in feature vs observed space.
+
+    Near 1.0 means the observer can rank which of A's instances resemble
+    each other (a real leak); near 0 means no usable structure.
+    """
+    features = np.asarray(features, dtype=np.float64)
+    observed = np.asarray(observed, dtype=np.float64)
+    if features.shape[0] != observed.shape[0]:
+        raise ValueError("need one observed row per instance")
+    n = features.shape[0]
+    if n < 4:
+        raise ValueError("too few instances for a distance correlation")
+    d_feat = _pairwise(features)
+    d_obs = _pairwise(observed)
+    if d_feat.std() == 0 or d_obs.std() == 0:
+        return 0.0
+    return float(np.corrcoef(d_feat, d_obs)[0, 1])
+
+
+def _pairwise(x: np.ndarray) -> np.ndarray:
+    sq = (x * x).sum(axis=1)
+    d2 = sq[:, None] + sq[None, :] - 2 * (x @ x.T)
+    iu = np.triu_indices(x.shape[0], k=1)
+    return np.sqrt(np.maximum(d2[iu], 0.0))

@@ -1,0 +1,63 @@
+"""Model-information leakage analysis (Figure 11).
+
+§4.2 Req 5/6: the signs and magnitudes of weights express feature
+importance, so no party may learn them — not even its own.  Figure 11
+verifies this empirically by plotting a share piece (``U_A``, ``S_A``)
+against the true value (``W_A``, ``Q_A``) coordinate by coordinate: the
+pieces are large, random, and uncorrelated with the truth.  This module
+computes those statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["PieceLeakageStats", "piece_vs_weight_stats"]
+
+
+@dataclass
+class PieceLeakageStats:
+    """How much a share piece reveals about the true tensor."""
+
+    piece_abs_mean: float
+    weight_abs_mean: float
+    correlation: float
+    sign_agreement: float  # 0.5 = coin flip (no leak)
+    magnitude_ratio: float  # how much the piece dwarfs the truth
+
+    def leaks(self, corr_tol: float = 0.2, sign_tol: float = 0.1) -> bool:
+        """True when the piece carries usable weight information."""
+        return (
+            abs(self.correlation) > corr_tol
+            or abs(self.sign_agreement - 0.5) > sign_tol
+        )
+
+
+def piece_vs_weight_stats(
+    piece: np.ndarray, weight: np.ndarray
+) -> PieceLeakageStats:
+    """Per-coordinate comparison of a share piece and the true tensor."""
+    piece = np.asarray(piece, dtype=np.float64).ravel()
+    weight = np.asarray(weight, dtype=np.float64).ravel()
+    if piece.shape != weight.shape:
+        raise ValueError("piece and weight must have the same shape")
+    if piece.size < 2:
+        raise ValueError("need at least two coordinates")
+    piece_std = piece.std()
+    weight_std = weight.std()
+    if piece_std == 0 or weight_std == 0:
+        correlation = 0.0
+    else:
+        correlation = float(np.corrcoef(piece, weight)[0, 1])
+    sign_agreement = float(np.mean(np.sign(piece) == np.sign(weight)))
+    weight_abs = float(np.abs(weight).mean())
+    piece_abs = float(np.abs(piece).mean())
+    return PieceLeakageStats(
+        piece_abs_mean=piece_abs,
+        weight_abs_mean=weight_abs,
+        correlation=correlation,
+        sign_agreement=sign_agreement,
+        magnitude_ratio=piece_abs / max(weight_abs, 1e-12),
+    )

@@ -1,0 +1,15 @@
+"""Communication runtime: messages, channels, parties, federation context."""
+
+from repro.comm.channel import Channel, payload_nbytes
+from repro.comm.message import Message, MessageKind
+from repro.comm.party import Party, VFLConfig, VFLContext
+
+__all__ = [
+    "Channel",
+    "payload_nbytes",
+    "Message",
+    "MessageKind",
+    "Party",
+    "VFLConfig",
+    "VFLContext",
+]

@@ -1,0 +1,54 @@
+"""Typed messages exchanged between federated parties.
+
+Every value crossing the party boundary is wrapped in a :class:`Message`
+whose ``kind`` classifies its protection level.  The security test-suite
+asserts that BlindFL's protocols never emit ``PLAINTEXT`` messages — that
+kind exists so the split-learning baseline can be implemented on the same
+channel and its leakage demonstrated on real transcripts.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+__all__ = ["MessageKind", "Message"]
+
+
+class MessageKind(enum.Enum):
+    """Protection level of a payload on the wire."""
+
+    CIPHERTEXT = "ciphertext"
+    """Paillier-encrypted under a key the receiver may or may not hold."""
+
+    SHARE = "share"
+    """One additive secret-share piece; marginally uniform noise."""
+
+    OUTPUT_SHARE = "output-share"
+    """A share of a value the receiver is *entitled* to reconstruct
+    (e.g. Z' pieces summing to the source-layer output Z at Party B)."""
+
+    PUBLIC = "public"
+    """Non-sensitive metadata: shapes, public keys, batch ids."""
+
+    PLAINTEXT = "plaintext"
+    """Unprotected sensitive value.  Only baselines may send these."""
+
+
+@dataclass
+class Message:
+    """A single cross-party transmission."""
+
+    sender: str
+    receiver: str
+    tag: str
+    kind: MessageKind
+    payload: object
+    nbytes: int = 0
+    seq: int = field(default=0, compare=False)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Message({self.sender}->{self.receiver}, tag={self.tag!r}, "
+            f"kind={self.kind.value}, nbytes={self.nbytes})"
+        )

@@ -1,0 +1,131 @@
+"""Party state and federation context.
+
+Per the paper's setup (§2.2): on initialisation each party generates its own
+Paillier key pair and exchanges the *public* keys, so either party can
+encrypt under the other's key while only the owner can decrypt.  Party B
+additionally holds the labels.
+
+:class:`VFLContext` bundles the parties, the shared channel and the protocol
+configuration.  It supports the standard two-party setting and the
+multi-party extension of Appendix C (several Party A's).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.comm.channel import Channel
+from repro.crypto.paillier import (
+    DEFAULT_KEY_BITS,
+    PaillierPrivateKey,
+    PaillierPublicKey,
+    generate_paillier_keypair,
+)
+from repro.utils.rng import spawn_rngs
+
+__all__ = ["Party", "VFLConfig", "VFLContext"]
+
+
+@dataclass
+class VFLConfig:
+    """Protocol-level knobs shared by all source layers.
+
+    Attributes:
+        key_bits: Paillier modulus size.  Tests default to short keys for
+            speed; the paper's deployment uses 2048.
+        mask_scale: magnitude of the uniform masks used by forward-pass
+            HE2SS conversions.  Must dwarf the protected values (Figure 11).
+        grad_mask_scale: mask magnitude for gradient sharing.  Each masked
+            update randomly walks the weight *pieces* apart by ~lr * mask
+            per step (the drift Figure 11 plots), so this is kept moderate
+            while still dwarfing the actual gradient values.
+        share_refresh: how Party A's cached ``[[V_A]]`` is refreshed after
+            Party B updates its plaintext piece — ``"reencrypt"`` resends
+            the full encrypted tensor (faithful to Figure 6),
+            ``"delta"`` sends only the encrypted update for coordinates
+            touched by the batch (the sparse-aware mode; see DESIGN.md §3).
+        record_transcript: keep the full message transcript (the security
+            tests need it; long benchmarks may disable it to save memory).
+    """
+
+    key_bits: int = DEFAULT_KEY_BITS
+    mask_scale: float = 2.0**16
+    grad_mask_scale: float = 128.0
+    share_refresh: str = "reencrypt"
+    record_transcript: bool = True
+
+    def __post_init__(self) -> None:
+        if self.share_refresh not in ("reencrypt", "delta"):
+            raise ValueError("share_refresh must be 'reencrypt' or 'delta'")
+
+
+@dataclass
+class Party:
+    """One participant: its keys, its RNG, and (for Party B) the labels."""
+
+    name: str
+    public_key: PaillierPublicKey
+    private_key: PaillierPrivateKey
+    rng: np.random.Generator
+    peer_public_keys: dict[str, PaillierPublicKey] = field(default_factory=dict)
+
+    def peer_key(self, peer_name: str) -> PaillierPublicKey:
+        try:
+            return self.peer_public_keys[peer_name]
+        except KeyError:
+            raise KeyError(
+                f"party {self.name!r} has no public key for peer {peer_name!r}"
+            ) from None
+
+
+class VFLContext:
+    """A federation: parties + channel + configuration.
+
+    ``n_a_parties=1`` gives the standard two-party setting (Party "A" and
+    Party "B"); larger values create parties "A1".."Am" for the Appendix C
+    multi-party protocols.
+    """
+
+    def __init__(
+        self,
+        config: VFLConfig | None = None,
+        seed: int = 0,
+        n_a_parties: int = 1,
+    ):
+        if n_a_parties < 1:
+            raise ValueError("need at least one Party A")
+        self.config = config or VFLConfig()
+        self.channel = Channel(record_transcript=self.config.record_transcript)
+        if n_a_parties == 1:
+            a_names = ["A"]
+        else:
+            a_names = [f"A{i + 1}" for i in range(n_a_parties)]
+        names = a_names + ["B"]
+        rngs = spawn_rngs(seed, len(names))
+        self.parties: dict[str, Party] = {}
+        for offset, (name, rng) in enumerate(zip(names, rngs)):
+            pk, sk = generate_paillier_keypair(
+                self.config.key_bits, seed=seed * 7919 + offset
+            )
+            self.parties[name] = Party(
+                name=name, public_key=pk, private_key=sk, rng=rng
+            )
+        # Exchange public keys (the one PUBLIC broadcast of initialisation).
+        for party in self.parties.values():
+            for other in self.parties.values():
+                if other.name != party.name:
+                    party.peer_public_keys[other.name] = other.public_key
+        self.a_names = a_names
+
+    @property
+    def A(self) -> Party:
+        return self.parties[self.a_names[0]]
+
+    @property
+    def B(self) -> Party:
+        return self.parties["B"]
+
+    def a_parties(self) -> list[Party]:
+        return [self.parties[name] for name in self.a_names]

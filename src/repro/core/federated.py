@@ -1,0 +1,116 @@
+"""Federated module/parameter plumbing (the Figure 8 API surface).
+
+``FederatedParameter`` describes one logical tensor whose pieces live on
+different parties (W = U + V, Q = S + T); no single object ever holds the
+reconstructed value — reconstruction exists only in the test-suite, which
+is allowed to play "global observer" to check losslessness.
+
+``FederatedModule`` mirrors ``torch.nn.Module``: it collects federated
+source layers (for :class:`repro.core.optimizer.FederatedSGD`) and plain
+:class:`repro.tensor.nn.Module` top-model parameters (for a plaintext
+optimizer), so the Figure 8 training loop works unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+import numpy as np
+
+from repro.tensor.nn import Module
+from repro.tensor.tensor import Tensor
+
+__all__ = ["FederatedParameter", "FederatedModule", "SourceLayer"]
+
+
+@dataclass
+class FederatedParameter:
+    """Bookkeeping for one secretly shared tensor.
+
+    Attributes:
+        name: logical name ("W_A", "Q_B", ...).
+        owner: the party the parameter logically belongs to.
+        shape: full tensor shape.
+        holders: mapping piece-name -> party holding it, e.g.
+            ``{"U": "A", "V": "B"}``.
+    """
+
+    name: str
+    owner: str
+    shape: tuple[int, ...]
+    holders: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def size(self) -> int:
+        return int(np.prod(self.shape))
+
+
+class SourceLayer:
+    """Base class for federated source layers.
+
+    Concrete layers (MatMul, Embed-MatMul) implement:
+
+    * ``forward(batch) -> np.ndarray`` — runs the federated forward protocol
+      and returns the aggregated activations Z *at Party B*;
+    * ``backward(grad_z) -> None`` — runs the federated backward protocol,
+      leaving secretly shared gradient pieces pending on each party;
+    * ``apply_updates(lr, momentum) -> None`` — momentum update of every
+      piece at its holder plus the encrypted-copy refresh protocol.
+
+    ``federated_parameters`` describes what is shared where (used by tests
+    and by the repr).
+    """
+
+    name: str = "source"
+
+    def forward(self, batch: object) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, grad_z: np.ndarray) -> None:
+        raise NotImplementedError
+
+    def apply_updates(self, lr: float, momentum: float) -> None:
+        raise NotImplementedError
+
+    def federated_parameters(self) -> list[FederatedParameter]:
+        raise NotImplementedError
+
+    def zero_pending(self) -> None:
+        raise NotImplementedError
+
+
+class FederatedModule(Module):
+    """A model made of federated source layers plus a plaintext top model."""
+
+    def source_layers(self) -> Iterator[SourceLayer]:
+        """Yield every source layer reachable from this module."""
+        seen: set[int] = set()
+        for value in self.__dict__.values():
+            yield from _collect_sources(value, seen)
+
+    def federated_parameters(self) -> list[FederatedParameter]:
+        params: list[FederatedParameter] = []
+        for layer in self.source_layers():
+            params.extend(layer.federated_parameters())
+        return params
+
+    def top_parameters(self) -> list[Tensor]:
+        """The plaintext (Party B) parameters."""
+        return list(self.parameters())
+
+
+def _collect_sources(value: object, seen: set[int]) -> Iterator[SourceLayer]:
+    if isinstance(value, SourceLayer):
+        if id(value) not in seen:
+            seen.add(id(value))
+            yield value
+    elif isinstance(value, FederatedModule):
+        for sub in value.__dict__.values():
+            yield from _collect_sources(sub, seen)
+    elif isinstance(value, Module):
+        for sub in value.__dict__.values():
+            yield from _collect_sources(sub, seen)
+    elif isinstance(value, (list, tuple)):
+        for item in value:
+            yield from _collect_sources(item, seen)

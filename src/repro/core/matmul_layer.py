@@ -1,0 +1,335 @@
+"""The MatMul federated source layer — Figure 6 of the paper.
+
+Computes ``Z = X_A @ W_A + X_B @ W_B`` where neither party ever sees either
+weight matrix, any unaggregated activation (``X_A W_A`` / ``X_B W_B``), or
+any model gradient, satisfying every restriction of Table 2:
+
+* weights are secretly shared at initialisation: ``W_x = U_x + V_x`` with
+  ``U_x`` at the owner and ``V_x`` at the peer, and each party caches the
+  *encrypted* peer piece ``[[V_own]]`` under the peer's key;
+* the forward pass turns ``X [[V]]`` into shares via HE2SS (Alg. 1) so the
+  obfuscation terms cancel exactly — the layer is lossless;
+* the backward pass ships ``[[grad_Z]]`` to Party A, produces the secretly
+  shared gradient ``<phi, grad_W_A - phi>``, and updates both pieces in the
+  complementary way ``(U - lr*phi) + (V - lr*(grad_W - phi))``, so
+  ``grad_W_A`` is never reconstructed anywhere.
+
+Two refresh modes keep Party A's cached ``[[V_A]]`` consistent after Party
+B updates its plaintext ``V_A`` (see ``VFLConfig.share_refresh``):
+``"reencrypt"`` resends the full tensor (faithful to Figure 6);
+``"delta"`` exploits sparsity — only coordinates touched by the batch are
+masked, shared and refreshed, making per-iteration crypto cost O(nnz)
+(the Table 5 scaling; the column support becomes visible to Party B,
+a tradeoff documented in DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.comm.message import MessageKind
+from repro.comm.party import VFLContext
+from repro.crypto.crypto_tensor import CryptoTensor, sparse_t_matmul_cipher
+from repro.crypto.secret_sharing import he2ss_receive, he2ss_split
+from repro.core.federated import FederatedParameter, SourceLayer
+from repro.tensor.sparse import CSRMatrix
+
+__all__ = ["MatMulSource", "matmul_any"]
+
+
+def matmul_any(x: np.ndarray | CSRMatrix, w: np.ndarray) -> np.ndarray:
+    """``x @ w`` for dense or CSR ``x`` (plaintext, local to one party)."""
+    if isinstance(x, CSRMatrix):
+        return x.matmul_dense(w)
+    return np.asarray(x, dtype=np.float64) @ w
+
+
+def t_matmul_any(x: np.ndarray | CSRMatrix, g: np.ndarray) -> np.ndarray:
+    """``x.T @ g`` for dense or CSR ``x``."""
+    if isinstance(x, CSRMatrix):
+        return x.t_matmul_dense(g)
+    return np.asarray(x, dtype=np.float64).T @ g
+
+
+def _t_matmul_cipher(
+    x: np.ndarray | CSRMatrix, ct: CryptoTensor, columns: np.ndarray | None = None
+) -> CryptoTensor:
+    """``x.T @ [[g]]`` for dense or CSR ``x`` (homomorphic)."""
+    if isinstance(x, CSRMatrix):
+        return sparse_t_matmul_cipher(x, ct, columns=columns)
+    if columns is not None:
+        x = np.asarray(x)[:, columns]
+    return np.asarray(x, dtype=np.float64).T @ ct
+
+
+@dataclass
+class _PieceState:
+    """One party's piece holdings for this layer."""
+
+    u: np.ndarray  # own piece of own weights
+    v_peer: np.ndarray  # plaintext piece of the *peer's* weights
+    enc_v_own: CryptoTensor  # [[V_own]] under the peer's key
+    vel_u: np.ndarray = None  # type: ignore[assignment]
+    vel_v_peer: np.ndarray = None  # type: ignore[assignment]
+    x_cache: object = None
+    pending: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.vel_u = np.zeros_like(self.u)
+        self.vel_v_peer = np.zeros_like(self.v_peer)
+
+
+class MatMulSource(SourceLayer):
+    """Federated ``Z = X_A W_A + X_B W_B`` for numerical features."""
+
+    def __init__(
+        self,
+        ctx: VFLContext,
+        in_a: int,
+        in_b: int,
+        out_dim: int,
+        init_scale: float = 0.05,
+        name: str = "matmul",
+    ):
+        if min(in_a, in_b, out_dim) <= 0:
+            raise ValueError("dimensions must be positive")
+        self.ctx = ctx
+        self.name = name
+        self.in_a, self.in_b, self.out_dim = in_a, in_b, out_dim
+        self._step = 0
+        cfg = ctx.config
+        a, b, ch = ctx.A, ctx.B, ctx.channel
+        piece_std = init_scale / np.sqrt(2.0)
+        # Figure 6 lines 1-4: A draws U_A and V_B; B draws U_B and V_A; each
+        # encrypts the V piece it drew under its *own* key and ships it.
+        u_a = a.rng.normal(0.0, piece_std, size=(in_a, out_dim))
+        v_b = a.rng.normal(0.0, piece_std, size=(in_b, out_dim))
+        u_b = b.rng.normal(0.0, piece_std, size=(in_b, out_dim))
+        v_a = b.rng.normal(0.0, piece_std, size=(in_a, out_dim))
+        ch.send(
+            a.name, b.name, f"{name}.init.encV_B",
+            CryptoTensor.encrypt(a.public_key, v_b, obfuscate=True),
+            MessageKind.CIPHERTEXT,
+        )
+        ch.send(
+            b.name, a.name, f"{name}.init.encV_A",
+            CryptoTensor.encrypt(b.public_key, v_a, obfuscate=True),
+            MessageKind.CIPHERTEXT,
+        )
+        enc_v_a = ch.recv(a.name, f"{name}.init.encV_A")
+        enc_v_b = ch.recv(b.name, f"{name}.init.encV_B")
+        self._a = _PieceState(u=u_a, v_peer=v_b, enc_v_own=enc_v_a)
+        self._b = _PieceState(u=u_b, v_peer=v_a, enc_v_own=enc_v_b)
+        self._cfg = cfg
+
+    # ------------------------------------------------------------------ forward
+
+    def forward(
+        self,
+        x_a: np.ndarray | CSRMatrix,
+        x_b: np.ndarray | CSRMatrix,
+        train: bool = True,
+    ) -> np.ndarray:
+        """Figure 6 lines 5-8; returns Z at Party B."""
+        self._step += 1
+        tag = f"{self.name}.{self._step}"
+        ctx, cfg = self.ctx, self._cfg
+        a, b, ch = ctx.A, ctx.B, ctx.channel
+        if train:
+            self._a.x_cache = x_a
+            self._b.x_cache = x_b
+        # Line 5-6 at A: [[X_A V_A]] -> <eps_A, X_A V_A - eps_A>.
+        ct_a = x_a @ self._a.enc_v_own
+        eps_a = he2ss_split(ct_a, a, "B", ch, f"{tag}.fwd.XV_A", cfg.mask_scale)
+        # Symmetric at B.
+        ct_b = x_b @ self._b.enc_v_own
+        eps_b = he2ss_split(ct_b, b, "A", ch, f"{tag}.fwd.XV_B", cfg.mask_scale)
+        xv_b_share = he2ss_receive(a, ch, f"{tag}.fwd.XV_B")  # X_B V_B - eps_B
+        xv_a_share = he2ss_receive(b, ch, f"{tag}.fwd.XV_A")  # X_A V_A - eps_A
+        # Line 7: per-party output shares.
+        z_a = matmul_any(x_a, self._a.u) + eps_a + xv_b_share
+        z_b = matmul_any(x_b, self._b.u) + eps_b + xv_a_share
+        # Line 8: A releases its share of Z (Party B is entitled to Z).
+        ch.send(a.name, b.name, f"{tag}.fwd.Z_A", z_a, MessageKind.OUTPUT_SHARE)
+        z_a_at_b = ch.recv(b.name, f"{tag}.fwd.Z_A")
+        return z_a_at_b + z_b
+
+    def forward_shares(
+        self, x_a: np.ndarray | CSRMatrix, x_b: np.ndarray | CSRMatrix, train: bool = True
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Appendix B variant: keep <Z'_A, Z'_B> secret-shared (no release).
+
+        Used when a *federated* top model follows the source layer, so not
+        even Party B sees Z.
+        """
+        self._step += 1
+        tag = f"{self.name}.{self._step}"
+        ctx, cfg = self.ctx, self._cfg
+        a, b, ch = ctx.A, ctx.B, ctx.channel
+        if train:
+            self._a.x_cache = x_a
+            self._b.x_cache = x_b
+        ct_a = x_a @ self._a.enc_v_own
+        eps_a = he2ss_split(ct_a, a, "B", ch, f"{tag}.fwd.XV_A", cfg.mask_scale)
+        ct_b = x_b @ self._b.enc_v_own
+        eps_b = he2ss_split(ct_b, b, "A", ch, f"{tag}.fwd.XV_B", cfg.mask_scale)
+        xv_b_share = he2ss_receive(a, ch, f"{tag}.fwd.XV_B")
+        xv_a_share = he2ss_receive(b, ch, f"{tag}.fwd.XV_A")
+        z_a = matmul_any(x_a, self._a.u) + eps_a + xv_b_share
+        z_b = matmul_any(x_b, self._b.u) + eps_b + xv_a_share
+        return z_a, z_b
+
+    # ----------------------------------------------------------------- backward
+
+    def backward(self, grad_z: np.ndarray) -> None:
+        """Figure 6 lines 9-10: secretly share grad_W_A; compute grad_W_B."""
+        if self._a.x_cache is None:
+            raise RuntimeError("backward before forward (or inference-only forward)")
+        if self._a.pending or self._b.pending:
+            raise RuntimeError("pending updates not applied; call apply_updates")
+        tag = f"{self.name}.{self._step}"
+        ctx, cfg = self.ctx, self._cfg
+        a, b, ch = ctx.A, ctx.B, ctx.channel
+        grad_z = np.asarray(grad_z, dtype=np.float64).reshape(-1, self.out_dim)
+        # Line 9: B encrypts the derivatives (label protection, Req 3).
+        enc_gz = CryptoTensor.encrypt(b.public_key, grad_z, obfuscate=True)
+        ch.send(b.name, a.name, f"{tag}.bwd.gZ", enc_gz, MessageKind.CIPHERTEXT)
+        enc_gz_at_a = ch.recv(a.name, f"{tag}.bwd.gZ")
+        x_a = self._a.x_cache
+        use_delta = cfg.share_refresh == "delta" and isinstance(x_a, CSRMatrix)
+        if use_delta:
+            # Sparse-aware: only the column support of this batch carries
+            # gradient; restrict the crypto to those coordinates.
+            support = x_a.column_support()
+            ch.send(
+                a.name, b.name, f"{tag}.bwd.support", support, MessageKind.PUBLIC
+            )
+            enc_gw = _t_matmul_cipher(x_a, enc_gz_at_a, columns=support)
+        else:
+            support = None
+            enc_gw = _t_matmul_cipher(x_a, enc_gz_at_a)
+        # Line 10: <phi, grad_W_A - phi>.
+        phi = he2ss_split(enc_gw, a, "B", ch, f"{tag}.bwd.gW_A", cfg.grad_mask_scale)
+        support_at_b = ch.recv(b.name, f"{tag}.bwd.support") if use_delta else None
+        gw_minus_phi = he2ss_receive(b, ch, f"{tag}.bwd.gW_A")
+        self._a.pending = {"phi": phi, "support": support}
+        self._b.pending = {
+            "gw_a_share": gw_minus_phi,
+            "support": support_at_b,
+            "gw_b": t_matmul_any(self._b.x_cache, grad_z),  # line 11, local at B
+        }
+
+    # --------------------------------------------------------------------- step
+
+    def apply_updates(self, lr: float, momentum: float) -> None:
+        """Figure 6 lines 11-12 plus the [[V_A]] refresh."""
+        if not self._a.pending:
+            return
+        tag = f"{self.name}.{self._step}"
+        a, b, ch = self.ctx.A, self.ctx.B, self.ctx.channel
+        support = self._a.pending["support"]
+        # Party A: U_A update with its gradient piece phi.
+        _momentum_update(
+            self._a.u, self._a.vel_u, self._a.pending["phi"], lr, momentum, support
+        )
+        # Party B: V_A update with the complementary piece.
+        v_a_before = self._b.v_peer.copy() if support is not None else None
+        _momentum_update(
+            self._b.v_peer,
+            self._b.vel_v_peer,
+            self._b.pending["gw_a_share"],
+            lr,
+            momentum,
+            self._b.pending["support"],
+        )
+        # Party B: its own weights take the full (plaintext) gradient.
+        _momentum_update(
+            self._b.u, self._b.vel_u, self._b.pending["gw_b"], lr, momentum, None
+        )
+        # Refresh A's cached [[V_A]]_B.
+        if support is None:
+            fresh = CryptoTensor.encrypt(b.public_key, self._b.v_peer, obfuscate=True)
+            ch.send(b.name, a.name, f"{tag}.upd.encV_A", fresh, MessageKind.CIPHERTEXT)
+            self._a.enc_v_own = ch.recv(a.name, f"{tag}.upd.encV_A")
+        else:
+            delta = self._b.v_peer[self._b.pending["support"]] - v_a_before[
+                self._b.pending["support"]
+            ]
+            enc_delta = CryptoTensor.encrypt(b.public_key, delta, obfuscate=True)
+            ch.send(
+                b.name, a.name, f"{tag}.upd.dV_A", enc_delta, MessageKind.CIPHERTEXT
+            )
+            enc_delta_at_a = ch.recv(a.name, f"{tag}.upd.dV_A")
+            updated = self._a.enc_v_own[support] + enc_delta_at_a
+            self._a.enc_v_own.data[support] = updated.data
+        self.zero_pending()
+
+    def zero_pending(self) -> None:
+        self._a.pending = {}
+        self._b.pending = {}
+
+    # -------------------------------------------------------------- introspection
+
+    def federated_parameters(self) -> list[FederatedParameter]:
+        return [
+            FederatedParameter(
+                name=f"{self.name}.W_A",
+                owner="A",
+                shape=(self.in_a, self.out_dim),
+                holders={"U": "A", "V": "B"},
+            ),
+            FederatedParameter(
+                name=f"{self.name}.W_B",
+                owner="B",
+                shape=(self.in_b, self.out_dim),
+                holders={"U": "B", "V": "A"},
+            ),
+        ]
+
+    def reveal_weights(self) -> dict[str, np.ndarray]:
+        """TEST/DEBUG ONLY: reconstruct W_A, W_B as a global observer.
+
+        This deliberately violates the trust model (no real party can do
+        it); the test-suite uses it to verify losslessness against the
+        plaintext reference implementation.
+        """
+        return {
+            "W_A": self._a.u + self._b.v_peer,
+            "W_B": self._b.u + self._a.v_peer,
+        }
+
+    def piece_views(self) -> dict[str, np.ndarray]:
+        """The pieces each party can see (for the Figure 11 analysis)."""
+        return {
+            "A.U_A": self._a.u,
+            "A.V_B": self._a.v_peer,
+            "B.U_B": self._b.u,
+            "B.V_A": self._b.v_peer,
+        }
+
+
+def _momentum_update(
+    weights: np.ndarray,
+    velocity: np.ndarray,
+    grad: np.ndarray,
+    lr: float,
+    momentum: float,
+    support: np.ndarray | None,
+) -> None:
+    """Classical momentum on a piece; ``support`` enables lazy sparse mode."""
+    if support is None:
+        if momentum:
+            velocity *= momentum
+            velocity += grad
+            weights -= lr * velocity
+        else:
+            weights -= lr * grad
+        return
+    if momentum:
+        velocity[support] *= momentum
+        velocity[support] += grad
+        weights[support] -= lr * velocity[support]
+    else:
+        weights[support] -= lr * grad

@@ -1,0 +1,290 @@
+"""Multi-party MatMul source layer — Algorithm 3 (Appendix C).
+
+Generalises Figure 6 to ``M`` Party A's plus Party B: each ``A(i)`` shares
+its weights with B exactly as in the two-party layer, while B's weights are
+broken into ``M + 1`` pieces, ``W_B = U_B + sum_i V_B(i)``, with ``V_B(i)``
+managed by ``A(i)``.  The forward pass runs the pairwise MatMul routine
+once per ``A(i)`` (B contributing ``U_B / M`` each time, per the paper's
+equation) and sums the results; the backward pass shares each
+``grad_W_A(i)`` pairwise and lets B update ``U_B`` with the full local
+gradient.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.comm.message import MessageKind
+from repro.comm.party import VFLContext
+from repro.core.federated import FederatedParameter, SourceLayer
+from repro.core.matmul_layer import _momentum_update, matmul_any, t_matmul_any
+from repro.crypto.crypto_tensor import CryptoTensor
+from repro.crypto.secret_sharing import he2ss_receive, he2ss_split
+from repro.tensor.sparse import CSRMatrix
+
+__all__ = ["MultiPartyMatMulSource", "MultiPartyLR"]
+
+
+@dataclass
+class _AState:
+    u: np.ndarray  # U_A(i) at A(i)
+    v_b: np.ndarray  # V_B(i) at A(i)
+    enc_v_own: CryptoTensor  # [[V_A(i)]]_B at A(i)
+    vel_u: np.ndarray = None  # type: ignore[assignment]
+    x_cache: object = None
+
+    def __post_init__(self) -> None:
+        self.vel_u = np.zeros_like(self.u)
+
+
+@dataclass
+class _BState:
+    u: np.ndarray  # U_B
+    v_a: dict[str, np.ndarray]  # V_A(i) per A party
+    enc_v_b: dict[str, CryptoTensor]  # [[V_B(i)]]_{A(i)} per A party
+    vel_u: np.ndarray = None  # type: ignore[assignment]
+    vel_v_a: dict[str, np.ndarray] = field(default_factory=dict)
+    x_cache: object = None
+
+    def __post_init__(self) -> None:
+        self.vel_u = np.zeros_like(self.u)
+        self.vel_v_a = {k: np.zeros_like(v) for k, v in self.v_a.items()}
+
+
+class MultiPartyMatMulSource(SourceLayer):
+    """``Z = sum_i X_A(i) W_A(i) + X_B W_B`` with M Party A's."""
+
+    def __init__(
+        self,
+        ctx: VFLContext,
+        in_dims: dict[str, int],
+        in_b: int,
+        out_dim: int,
+        init_scale: float = 0.05,
+        name: str = "mp-matmul",
+    ):
+        if len(ctx.a_names) < 2:
+            raise ValueError("use MatMulSource for the two-party setting")
+        if set(in_dims) != set(ctx.a_names):
+            raise ValueError(f"in_dims must cover parties {ctx.a_names}")
+        self.ctx = ctx
+        self.name = name
+        self.in_dims = dict(in_dims)
+        self.in_b, self.out_dim = in_b, out_dim
+        self._cfg = ctx.config
+        self._step = 0
+        b, ch = ctx.B, ctx.channel
+        m = len(ctx.a_names)
+        piece = init_scale / np.sqrt(2.0)
+        # Algorithm 3, MultiPartyMatMulInit.
+        self._b = _BState(
+            u=b.rng.normal(0.0, piece, size=(in_b, out_dim)),
+            v_a={},
+            enc_v_b={},
+        )
+        self._a: dict[str, _AState] = {}
+        for a_name in ctx.a_names:
+            a = ctx.parties[a_name]
+            in_a = in_dims[a_name]
+            v_a = b.rng.normal(0.0, piece, size=(in_a, out_dim))
+            self._b.v_a[a_name] = v_a
+            ch.send(
+                b.name, a_name, f"{name}.init.encV_{a_name}",
+                CryptoTensor.encrypt(b.public_key, v_a, obfuscate=True),
+                MessageKind.CIPHERTEXT,
+            )
+            u_a = a.rng.normal(0.0, piece, size=(in_a, out_dim))
+            v_b = a.rng.normal(0.0, piece / np.sqrt(m), size=(in_b, out_dim))
+            ch.send(
+                a_name, b.name, f"{name}.init.encVB_{a_name}",
+                CryptoTensor.encrypt(a.public_key, v_b, obfuscate=True),
+                MessageKind.CIPHERTEXT,
+            )
+            self._a[a_name] = _AState(
+                u=u_a, v_b=v_b, enc_v_own=ch.recv(a_name, f"{name}.init.encV_{a_name}")
+            )
+            self._b.enc_v_b[a_name] = ch.recv(b.name, f"{name}.init.encVB_{a_name}")
+        self._b.__post_init__()
+
+    # ------------------------------------------------------------------ forward
+
+    def forward(
+        self, x_by_party: dict[str, np.ndarray | CSRMatrix], train: bool = True
+    ) -> np.ndarray:
+        """Algorithm 3, MultiPartyMatMulFw: sum of pairwise MatMul rounds."""
+        self._step += 1
+        tag = f"{self.name}.{self._step}"
+        cfg, ch = self._cfg, self.ctx.channel
+        b = self.ctx.B
+        x_b = x_by_party["B"]
+        if train:
+            self._b.x_cache = x_b
+        m = len(self.ctx.a_names)
+        z_total = None
+        for a_name in self.ctx.a_names:
+            a = self.ctx.parties[a_name]
+            state = self._a[a_name]
+            x_a = x_by_party[a_name]
+            if train:
+                state.x_cache = x_a
+            # Pairwise Figure 6 forward, with B contributing U_B / M.
+            ct_a = x_a @ state.enc_v_own
+            eps_a = he2ss_split(
+                ct_a, a, "B", ch, f"{tag}.fwd.XV_{a_name}", cfg.mask_scale
+            )
+            ct_b = x_b @ self._b.enc_v_b[a_name]
+            eps_b = he2ss_split(
+                ct_b, b, a_name, ch, f"{tag}.fwd.XVB_{a_name}", cfg.mask_scale
+            )
+            xvb_share = he2ss_receive(a, ch, f"{tag}.fwd.XVB_{a_name}")
+            xva_share = he2ss_receive(b, ch, f"{tag}.fwd.XV_{a_name}")
+            z_a = matmul_any(x_a, state.u) + eps_a + xvb_share
+            ch.send(a_name, b.name, f"{tag}.fwd.Z_{a_name}", z_a, MessageKind.OUTPUT_SHARE)
+            z_i = (
+                ch.recv(b.name, f"{tag}.fwd.Z_{a_name}")
+                + matmul_any(x_b, self._b.u / m)
+                + eps_b
+                + xva_share
+            )
+            z_total = z_i if z_total is None else z_total + z_i
+        return z_total
+
+    # ----------------------------------------------------------------- backward
+
+    def backward(self, grad_z: np.ndarray) -> None:
+        """Algorithm 3, MultiPartyMatMulBw (gradient sharing per A party)."""
+        if self._b.x_cache is None:
+            raise RuntimeError("backward before forward")
+        tag = f"{self.name}.{self._step}"
+        cfg, ch = self._cfg, self.ctx.channel
+        b = self.ctx.B
+        grad_z = np.asarray(grad_z, dtype=np.float64).reshape(-1, self.out_dim)
+        enc_gz = CryptoTensor.encrypt(b.public_key, grad_z, obfuscate=True)
+        self._pending_b = {"gw_b": t_matmul_any(self._b.x_cache, grad_z), "shares": {}}
+        self._pending_a: dict[str, np.ndarray] = {}
+        for a_name in self.ctx.a_names:
+            a = self.ctx.parties[a_name]
+            state = self._a[a_name]
+            ch.send(b.name, a_name, f"{tag}.bwd.gZ_{a_name}", enc_gz, MessageKind.CIPHERTEXT)
+            enc_gz_at_a = ch.recv(a_name, f"{tag}.bwd.gZ_{a_name}")
+            if isinstance(state.x_cache, CSRMatrix):
+                from repro.crypto.crypto_tensor import sparse_t_matmul_cipher
+
+                enc_gw = sparse_t_matmul_cipher(state.x_cache, enc_gz_at_a)
+            else:
+                enc_gw = np.asarray(state.x_cache).T @ enc_gz_at_a
+            phi = he2ss_split(
+                enc_gw, a, "B", ch, f"{tag}.bwd.gW_{a_name}", cfg.grad_mask_scale
+            )
+            self._pending_b["shares"][a_name] = he2ss_receive(
+                b, ch, f"{tag}.bwd.gW_{a_name}"
+            )
+            self._pending_a[a_name] = phi
+
+    def apply_updates(self, lr: float, momentum: float) -> None:
+        if not getattr(self, "_pending_a", None):
+            return
+        tag = f"{self.name}.{self._step}"
+        b, ch = self.ctx.B, self.ctx.channel
+        for a_name in self.ctx.a_names:
+            state = self._a[a_name]
+            _momentum_update(
+                state.u, state.vel_u, self._pending_a[a_name], lr, momentum, None
+            )
+            _momentum_update(
+                self._b.v_a[a_name],
+                self._b.vel_v_a[a_name],
+                self._pending_b["shares"][a_name],
+                lr,
+                momentum,
+                None,
+            )
+            fresh = CryptoTensor.encrypt(
+                b.public_key, self._b.v_a[a_name], obfuscate=True
+            )
+            ch.send(
+                b.name, a_name, f"{tag}.upd.encV_{a_name}", fresh, MessageKind.CIPHERTEXT
+            )
+            state.enc_v_own = ch.recv(a_name, f"{tag}.upd.encV_{a_name}")
+        _momentum_update(
+            self._b.u, self._b.vel_u, self._pending_b["gw_b"], lr, momentum, None
+        )
+        self.zero_pending()
+
+    def zero_pending(self) -> None:
+        self._pending_a = {}
+        self._pending_b = {}
+
+    # -------------------------------------------------------------- introspection
+
+    def federated_parameters(self) -> list[FederatedParameter]:
+        params = [
+            FederatedParameter(
+                f"{self.name}.W_{a}", a, (self.in_dims[a], self.out_dim),
+                {"U": a, "V": "B"},
+            )
+            for a in self.ctx.a_names
+        ]
+        holders = {"U": "B"}
+        for a in self.ctx.a_names:
+            holders[f"V({a})"] = a
+        params.append(
+            FederatedParameter(
+                f"{self.name}.W_B", "B", (self.in_b, self.out_dim), holders
+            )
+        )
+        return params
+
+    def reveal_weights(self) -> dict[str, np.ndarray]:
+        """TEST/DEBUG ONLY — global-observer reconstruction."""
+        out = {
+            f"W_{a}": self._a[a].u + self._b.v_a[a] for a in self.ctx.a_names
+        }
+        out["W_B"] = self._b.u + sum(self._a[a].v_b for a in self.ctx.a_names)
+        return out
+
+
+class MultiPartyLR:
+    """Logistic regression over M Party A's + Party B (Appendix C).
+
+    A thin model wrapper around :class:`MultiPartyMatMulSource` with a bias
+    term at Party B, exposing the same forward/backward/step cadence as the
+    two-party models (see ``examples/multiparty_lr.py`` for the loop).
+    """
+
+    def __init__(self, ctx: VFLContext, in_dims: dict[str, int], in_b: int):
+        self.ctx = ctx
+        self.source = MultiPartyMatMulSource(ctx, in_dims, in_b, 1, name="mp-lr")
+        self.bias = 0.0
+        self._vel_bias = 0.0
+
+    def forward(self, x_by_party: dict[str, object], train: bool = True) -> np.ndarray:
+        """Logits at Party B for an aligned multi-party batch."""
+        return self.source.forward(x_by_party, train=train) + self.bias
+
+    def train_step(
+        self,
+        x_by_party: dict[str, object],
+        labels: np.ndarray,
+        lr: float,
+        momentum: float = 0.9,
+    ) -> float:
+        """One BCE step; returns the training loss."""
+        logits = self.forward(x_by_party, train=True)
+        y = np.asarray(labels, dtype=np.float64).reshape(logits.shape)
+        probs = 1.0 / (1.0 + np.exp(-np.clip(logits, -60, 60)))
+        loss = float(
+            np.mean(
+                np.maximum(logits, 0)
+                - logits * y
+                + np.log1p(np.exp(-np.abs(logits)))
+            )
+        )
+        grad_z = (probs - y) / y.shape[0]
+        self.source.backward(grad_z)
+        self.source.apply_updates(lr, momentum)
+        self._vel_bias = momentum * self._vel_bias + float(grad_z.sum())
+        self.bias -= lr * self._vel_bias
+        return loss

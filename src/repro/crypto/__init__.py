@@ -1,0 +1,59 @@
+"""Cryptographic substrate: Paillier HE, fixed-point encoding, encrypted
+tensors, additive secret sharing, and Beaver triples.
+
+These are the privacy-preserving building blocks of §2.2 of the paper; the
+federated source layers in :mod:`repro.core` are written entirely in terms
+of this package.
+"""
+
+from repro.crypto.beaver import (
+    BeaverTriple,
+    ClientAidedDealer,
+    PaillierTripleGenerator,
+    beaver_matmul,
+    decode_ring,
+    encode_ring,
+    share_ring,
+)
+from repro.crypto.crypto_tensor import PLAIN_EXPONENT, TENSOR_EXPONENT, CryptoTensor
+from repro.crypto.encoding import EncodedNumber
+from repro.crypto.paillier import (
+    DEFAULT_KEY_BITS,
+    EncryptedNumber,
+    PaillierPrivateKey,
+    PaillierPublicKey,
+    generate_paillier_keypair,
+)
+from repro.crypto.secret_sharing import (
+    additive_share,
+    he2ss_receive,
+    he2ss_split,
+    reconstruct,
+    ss2he_combine,
+    ss2he_send,
+)
+
+__all__ = [
+    "BeaverTriple",
+    "ClientAidedDealer",
+    "PaillierTripleGenerator",
+    "beaver_matmul",
+    "decode_ring",
+    "encode_ring",
+    "share_ring",
+    "CryptoTensor",
+    "TENSOR_EXPONENT",
+    "PLAIN_EXPONENT",
+    "EncodedNumber",
+    "EncryptedNumber",
+    "PaillierPublicKey",
+    "PaillierPrivateKey",
+    "generate_paillier_keypair",
+    "DEFAULT_KEY_BITS",
+    "additive_share",
+    "reconstruct",
+    "he2ss_split",
+    "he2ss_receive",
+    "ss2he_send",
+    "ss2he_combine",
+]

@@ -1,0 +1,373 @@
+"""CryptoTensor: vectorised operations over tensors of Paillier ciphertexts.
+
+The paper's implementation section (§7.1) introduces "an abstraction called
+CryptoTensor, which supports fruitful primitives for both dense and sparse
+computation of encrypted tensors such as matrix multiplication and scatter
+addition".  This module is that abstraction.
+
+Supported primitives (all additively homomorphic, so one side of every
+product is plaintext):
+
+* elementwise ``+``, ``-``, negation, multiplication by plaintext scalars
+  and arrays;
+* ``plain @ cipher`` and ``cipher @ plain`` matrix products with
+  **zero-skipping** — zero plaintext entries contribute no modular
+  exponentiation, which is the sparsity speed-up BlindFL's Table 5 is
+  about;
+* row lookup (``take_rows``) — the encrypted embedding-table lookup of the
+  Embed-MatMul layer;
+* scatter addition (``scatter_add_rows``) — the encrypted ``lkup_bw``.
+
+Plaintext operands may be dense numpy arrays or any object exposing
+``iter_rows() -> (col_indices, values)`` per row (our CSR matrices), so
+sparse datasets never materialise their zeros.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.crypto.encoding import EncodedNumber
+from repro.crypto.paillier import EncryptedNumber, PaillierPrivateKey, PaillierPublicKey
+
+__all__ = [
+    "CryptoTensor",
+    "TENSOR_EXPONENT",
+    "PLAIN_EXPONENT",
+    "sparse_t_matmul_cipher",
+]
+
+# Uniform fixed-point exponents: encrypted tensors carry ~2**-40 resolution,
+# plaintext multipliers ~2**-32.  Products land at 2**-72, far inside the
+# plaintext bound of even the shortest supported keys.
+TENSOR_EXPONENT = -40
+PLAIN_EXPONENT = -32
+
+
+class CryptoTensor:
+    """A 1-D or 2-D numpy object-array of :class:`EncryptedNumber`."""
+
+    # Make numpy defer all mixed operations to our reflected methods.
+    __array_ufunc__ = None
+    __array_priority__ = 1000
+
+    __slots__ = ("public_key", "data")
+
+    def __init__(self, public_key: PaillierPublicKey, data: np.ndarray):
+        if data.dtype != object:
+            raise TypeError("CryptoTensor wraps an object-dtype array")
+        self.public_key = public_key
+        self.data = data
+
+    # -- construction ---------------------------------------------------------
+
+    @classmethod
+    def encrypt(
+        cls,
+        public_key: PaillierPublicKey,
+        array: np.ndarray,
+        exponent: int = TENSOR_EXPONENT,
+        obfuscate: bool = True,
+    ) -> "CryptoTensor":
+        """Encrypt a float array elementwise at a uniform exponent."""
+        array = np.asarray(array, dtype=np.float64)
+        flat = array.ravel()
+        out = np.empty(flat.shape[0], dtype=object)
+        for i, value in enumerate(flat):
+            out[i] = public_key.encrypt(
+                float(value), exponent=exponent, obfuscate=obfuscate
+            )
+        return cls(public_key, out.reshape(array.shape))
+
+    @classmethod
+    def zeros(
+        cls,
+        public_key: PaillierPublicKey,
+        shape: tuple[int, ...],
+        exponent: int = TENSOR_EXPONENT,
+    ) -> "CryptoTensor":
+        """Unobfuscated encryptions of zero (cheap accumulator seeds)."""
+        out = np.empty(shape, dtype=object)
+        flat = out.ravel()
+        for i in range(flat.shape[0]):
+            flat[i] = public_key.encrypt_zero(exponent)
+        return cls(public_key, flat.reshape(shape))
+
+    def decrypt(self, private_key: PaillierPrivateKey) -> np.ndarray:
+        """Decrypt elementwise back to float64."""
+        flat = self.data.ravel()
+        out = np.empty(flat.shape[0], dtype=np.float64)
+        for i, enc in enumerate(flat):
+            out[i] = private_key.decrypt(enc)
+        return out.reshape(self.data.shape)
+
+    # -- shape plumbing --------------------------------------------------------
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def T(self) -> "CryptoTensor":
+        return CryptoTensor(self.public_key, self.data.T)
+
+    def reshape(self, *shape: int) -> "CryptoTensor":
+        return CryptoTensor(self.public_key, self.data.reshape(*shape))
+
+    def __getitem__(self, key: object) -> "CryptoTensor | EncryptedNumber":
+        item = self.data[key]
+        if isinstance(item, np.ndarray):
+            return CryptoTensor(self.public_key, item)
+        return item
+
+    def take_rows(self, indices: np.ndarray) -> "CryptoTensor":
+        """Encrypted-table lookup: gather rows by plaintext indices."""
+        if self.data.ndim != 2:
+            raise ValueError("take_rows needs a 2-D tensor")
+        return CryptoTensor(self.public_key, self.data[np.asarray(indices, dtype=int)])
+
+    # -- elementwise arithmetic -----------------------------------------------
+
+    def _binary(self, other: object, op: str) -> "CryptoTensor":
+        if isinstance(other, CryptoTensor):
+            other_arr: np.ndarray = other.data
+        elif isinstance(other, (int, float)):
+            other_arr = np.full(self.data.shape, float(other), dtype=np.float64)
+        else:
+            other_arr = np.asarray(other, dtype=np.float64)
+            other_arr = np.broadcast_to(other_arr, self.data.shape)
+        if other_arr.shape != self.data.shape:
+            raise ValueError(
+                f"shape mismatch: {self.data.shape} vs {other_arr.shape}"
+            )
+        flat_a = self.data.ravel()
+        flat_b = other_arr.ravel()
+        out = np.empty(flat_a.shape[0], dtype=object)
+        if op == "add":
+            for i in range(out.shape[0]):
+                b = flat_b[i]
+                out[i] = flat_a[i] + (b if isinstance(b, EncryptedNumber) else float(b))
+        elif op == "sub":
+            for i in range(out.shape[0]):
+                b = flat_b[i]
+                out[i] = flat_a[i] - (b if isinstance(b, EncryptedNumber) else float(b))
+        elif op == "mul":
+            for i in range(out.shape[0]):
+                encoded = EncodedNumber.encode(
+                    self.public_key, float(flat_b[i]), exponent=PLAIN_EXPONENT
+                )
+                out[i] = flat_a[i] * encoded
+        else:  # pragma: no cover - internal misuse
+            raise ValueError(op)
+        return CryptoTensor(self.public_key, out.reshape(self.data.shape))
+
+    def __add__(self, other: object) -> "CryptoTensor":
+        return self._binary(other, "add")
+
+    __radd__ = __add__
+
+    def __sub__(self, other: object) -> "CryptoTensor":
+        return self._binary(other, "sub")
+
+    def __rsub__(self, other: object) -> "CryptoTensor":
+        return (-self) + other
+
+    def __neg__(self) -> "CryptoTensor":
+        return self * -1.0
+
+    def __mul__(self, other: object) -> "CryptoTensor":
+        if isinstance(other, CryptoTensor):
+            raise TypeError("cannot multiply two ciphertext tensors under Paillier")
+        return self._binary(other, "mul")
+
+    __rmul__ = __mul__
+
+    # -- matrix products --------------------------------------------------------
+
+    def __matmul__(self, plain: object) -> "CryptoTensor":
+        """``cipher @ plain`` — e.g. ``[[grad_Z]] @ U.T`` in Embed-MatMul."""
+        return _matmul_cipher_plain(self, np.asarray(plain, dtype=np.float64))
+
+    def __rmatmul__(self, plain: object) -> "CryptoTensor":
+        """``plain @ cipher`` — e.g. ``X_A @ [[V_A]]`` in MatMul forward."""
+        if hasattr(plain, "iter_rows"):
+            return _matmul_sparse_cipher(plain, self)
+        return _matmul_plain_cipher(np.asarray(plain, dtype=np.float64), self)
+
+    def scatter_add_rows(self, indices: np.ndarray, num_rows: int) -> "CryptoTensor":
+        """Encrypted ``lkup_bw``: scatter batch rows into a table.
+
+        ``self`` is a (batch, dim) ciphertext tensor and ``indices`` the
+        plaintext row ids; the result is a (num_rows, dim) tensor whose row
+        ``r`` is the homomorphic sum of all batch rows with index ``r`` (and
+        an encryption of zero where no batch row landed).
+        """
+        if self.data.ndim != 2:
+            raise ValueError("scatter_add_rows needs a 2-D tensor")
+        indices = np.asarray(indices, dtype=int)
+        if indices.shape[0] != self.data.shape[0]:
+            raise ValueError("one index per batch row required")
+        if indices.size and (indices.min() < 0 or indices.max() >= num_rows):
+            raise IndexError("scatter index out of range")
+        dim = self.data.shape[1]
+        exponent = _common_exponent(self.data)
+        out = CryptoTensor.zeros(self.public_key, (num_rows, dim), exponent).data
+        for batch_row, table_row in enumerate(indices):
+            for j in range(dim):
+                out[table_row, j] = out[table_row, j] + self.data[batch_row, j]
+        return CryptoTensor(self.public_key, out)
+
+    def obfuscate(self) -> "CryptoTensor":
+        """Re-randomise every ciphertext (used before leaving the party)."""
+        flat = self.data.ravel()
+        out = np.empty(flat.shape[0], dtype=object)
+        for i, enc in enumerate(flat):
+            out[i] = enc.obfuscate()
+        return CryptoTensor(self.public_key, out.reshape(self.data.shape))
+
+    @staticmethod
+    def vstack(tensors: Iterable["CryptoTensor"]) -> "CryptoTensor":
+        tensors = list(tensors)
+        pk = tensors[0].public_key
+        return CryptoTensor(pk, np.vstack([t.data for t in tensors]))
+
+    @staticmethod
+    def hstack(tensors: Iterable["CryptoTensor"]) -> "CryptoTensor":
+        tensors = list(tensors)
+        pk = tensors[0].public_key
+        return CryptoTensor(pk, np.hstack([t.data for t in tensors]))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"CryptoTensor(shape={self.data.shape})"
+
+
+def _common_exponent(data: np.ndarray) -> int:
+    return min(enc.exponent for enc in data.ravel())
+
+
+def _encode_matrix(pk: PaillierPublicKey, arr: np.ndarray) -> np.ndarray:
+    """Pre-encode a plaintext matrix once so products reuse the encodings."""
+    flat = arr.ravel()
+    out = np.empty(flat.shape[0], dtype=object)
+    for i, value in enumerate(flat):
+        out[i] = EncodedNumber.encode(pk, float(value), exponent=PLAIN_EXPONENT)
+    return out.reshape(arr.shape)
+
+
+def _matmul_plain_cipher(plain: np.ndarray, ct: CryptoTensor) -> CryptoTensor:
+    """Dense ``plain (s x m) @ cipher (m x k)`` with zero-skipping."""
+    plain = np.atleast_2d(plain)
+    cdata = ct.data if ct.data.ndim == 2 else ct.data.reshape(-1, 1)
+    s, m = plain.shape
+    m2, k = cdata.shape
+    if m != m2:
+        raise ValueError(f"matmul shape mismatch: ({s},{m}) @ ({m2},{k})")
+    pk = ct.public_key
+    prod_exp = _common_exponent(cdata) + PLAIN_EXPONENT
+    encoded = _encode_matrix(pk, plain)
+    out = np.empty((s, k), dtype=object)
+    for i in range(s):
+        row = plain[i]
+        nz = np.nonzero(row)[0]
+        for j in range(k):
+            acc = pk.encrypt_zero(prod_exp)
+            for t in nz:
+                acc = acc + (cdata[t, j] * encoded[i, t])
+            out[i, j] = acc
+    return CryptoTensor(pk, out)
+
+
+def _matmul_sparse_cipher(sparse: object, ct: CryptoTensor) -> CryptoTensor:
+    """CSR ``plain @ cipher``: cost proportional to nnz, never touches zeros."""
+    cdata = ct.data if ct.data.ndim == 2 else ct.data.reshape(-1, 1)
+    m2, k = cdata.shape
+    pk = ct.public_key
+    prod_exp = _common_exponent(cdata) + PLAIN_EXPONENT
+    rows = list(sparse.iter_rows())
+    out = np.empty((len(rows), k), dtype=object)
+    for i, (cols, vals) in enumerate(rows):
+        encoded_vals = [
+            EncodedNumber.encode(pk, float(v), exponent=PLAIN_EXPONENT) for v in vals
+        ]
+        for j in range(k):
+            acc = pk.encrypt_zero(prod_exp)
+            for col, enc_val in zip(cols, encoded_vals):
+                if col >= m2:
+                    raise IndexError("sparse column index out of range")
+                acc = acc + (cdata[col, j] * enc_val)
+            out[i, j] = acc
+    return CryptoTensor(pk, out)
+
+
+def sparse_t_matmul_cipher(
+    sparse: object, ct: CryptoTensor, columns: np.ndarray | None = None
+) -> CryptoTensor:
+    """``sparse.T @ cipher`` in O(nnz * k) — the X^T [[grad_Z]] of backprop.
+
+    ``sparse`` is (batch, m) CSR, ``ct`` is (batch, k) ciphertext; the result
+    is (m, k).  With ``columns`` given (sorted unique column ids), only those
+    rows of the result are produced, shaped (len(columns), k) — the
+    sparse-aware "touched coordinates" path of the delta refresh mode.
+    """
+    cdata = ct.data if ct.data.ndim == 2 else ct.data.reshape(-1, 1)
+    batch, k = cdata.shape
+    n_rows, m = sparse.shape
+    if n_rows != batch:
+        raise ValueError(f"t_matmul shape mismatch: {sparse.shape}.T @ ({batch},{k})")
+    pk = ct.public_key
+    prod_exp = _common_exponent(cdata) + PLAIN_EXPONENT
+    if columns is None:
+        out_rows = m
+        col_to_out = None
+    else:
+        columns = np.asarray(columns, dtype=np.int64)
+        out_rows = columns.shape[0]
+        col_to_out = {int(c): i for i, c in enumerate(columns)}
+    out = np.empty((out_rows, k), dtype=object)
+    for i in range(out_rows):
+        for j in range(k):
+            out[i, j] = pk.encrypt_zero(prod_exp)
+    for i, (cols, vals) in enumerate(sparse.iter_rows()):
+        for col, val in zip(cols, vals):
+            if col_to_out is None:
+                target = int(col)
+            elif int(col) in col_to_out:
+                target = col_to_out[int(col)]
+            else:
+                raise IndexError("batch touches a column outside `columns`")
+            encoded = EncodedNumber.encode(pk, float(val), exponent=PLAIN_EXPONENT)
+            for j in range(k):
+                out[target, j] = out[target, j] + (cdata[i, j] * encoded)
+    return CryptoTensor(pk, out)
+
+
+def _matmul_cipher_plain(ct: CryptoTensor, plain: np.ndarray) -> CryptoTensor:
+    """Dense ``cipher (s x m) @ plain (m x k)`` with zero-skipping."""
+    cdata = ct.data if ct.data.ndim == 2 else ct.data.reshape(1, -1)
+    plain = np.atleast_2d(plain)
+    s, m = cdata.shape
+    m2, k = plain.shape
+    if m != m2:
+        raise ValueError(f"matmul shape mismatch: ({s},{m}) @ ({m2},{k})")
+    pk = ct.public_key
+    prod_exp = _common_exponent(cdata) + PLAIN_EXPONENT
+    encoded = _encode_matrix(pk, plain)
+    out = np.empty((s, k), dtype=object)
+    for j in range(k):
+        nz = np.nonzero(plain[:, j])[0]
+        for i in range(s):
+            acc = pk.encrypt_zero(prod_exp)
+            for t in nz:
+                acc = acc + (cdata[i, t] * encoded[t, j])
+            out[i, j] = acc
+    return CryptoTensor(pk, out)

@@ -1,0 +1,136 @@
+"""Fixed-point encoding of signed floats into Paillier plaintext space.
+
+Paillier operates on integers mod ``n``; ML needs signed reals.  Following
+the standard construction (as in the ``phe`` library and the paper's
+CryptoTensor), a real ``x`` is represented as a mantissa/exponent pair
+``x = m * 2**exponent`` with ``m`` an integer mod ``n``.  Negative values
+occupy the top third of the ring, positives the bottom third, and the middle
+third is an overflow guard band that turns silent wrap-around into a loud
+``OverflowError``.
+"""
+
+from __future__ import annotations
+
+import math
+import sys
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.crypto.paillier import PaillierPublicKey
+
+__all__ = ["EncodedNumber"]
+
+
+class EncodedNumber:
+    """A signed fixed-point representation of a scalar mod ``n``.
+
+    Attributes:
+        public_key: key whose modulus defines the ring.
+        encoding: the integer mantissa reduced mod ``n``.
+        exponent: base-2 exponent; the represented value is
+            ``decode_mantissa * 2**exponent``.
+    """
+
+    BASE = 2
+    FLOAT_MANTISSA_BITS = sys.float_info.mant_dig  # 53 on every platform we target
+
+    # Default float encodings never go below this exponent.  Without a floor,
+    # adding a subnormal-scale cipher to an ordinary one would demand a
+    # mantissa with ~1000 bits of headroom, silently wrapping mod n on short
+    # keys.  Values below 2**-64 quantise to zero, which is far finer than
+    # any ML quantity in this codebase needs.
+    MIN_DEFAULT_EXPONENT = -64
+
+    __slots__ = ("public_key", "encoding", "exponent")
+
+    def __init__(self, public_key: "PaillierPublicKey", encoding: int, exponent: int):
+        self.public_key = public_key
+        self.encoding = encoding
+        self.exponent = exponent
+
+    @classmethod
+    def encode(
+        cls,
+        public_key: "PaillierPublicKey",
+        scalar: float | int,
+        exponent: int | None = None,
+    ) -> "EncodedNumber":
+        """Encode a python int/float.
+
+        With ``exponent=None`` an int encodes exactly at exponent 0 and a
+        float at the smallest exponent that preserves its full mantissa.
+        Passing an explicit ``exponent`` quantises to that precision, which
+        lets tensors share a uniform exponent.
+        """
+        if exponent is None:
+            if isinstance(scalar, int):
+                exponent = 0
+            elif isinstance(scalar, float):
+                if math.isnan(scalar) or math.isinf(scalar):
+                    raise ValueError(f"cannot encode non-finite value {scalar!r}")
+                bin_exp = math.frexp(scalar)[1]
+                exponent = max(
+                    bin_exp - cls.FLOAT_MANTISSA_BITS, cls.MIN_DEFAULT_EXPONENT
+                )
+            else:
+                raise TypeError(f"cannot encode type {type(scalar).__name__}")
+        if isinstance(scalar, int):
+            if exponent <= 0:
+                mantissa = scalar << -exponent
+            else:
+                mantissa = int(round(scalar / 2**exponent))
+        else:
+            try:
+                # ldexp avoids intermediate overflow for subnormal scalars.
+                mantissa = int(round(math.ldexp(float(scalar), -exponent)))
+            except OverflowError:
+                raise OverflowError(
+                    f"scalar {scalar} at exponent {exponent} exceeds plaintext bound"
+                ) from None
+        if abs(mantissa) > public_key.max_int:
+            raise OverflowError(
+                f"scalar {scalar} at exponent {exponent} exceeds plaintext bound"
+            )
+        return cls(public_key, mantissa % public_key.n, exponent)
+
+    def decode(self) -> float:
+        """Decode back to a float (raises on guard-band overflow)."""
+        if self.encoding >= self.public_key.n:
+            raise ValueError("encoding is not a canonical residue")
+        if self.encoding <= self.public_key.max_int:
+            mantissa = self.encoding
+        elif self.encoding >= self.public_key.n - self.public_key.max_int:
+            mantissa = self.encoding - self.public_key.n
+        else:
+            raise OverflowError(
+                "encoding fell in the overflow guard band; increase the key "
+                "size or reduce tensor magnitudes"
+            )
+        # ldexp keeps huge-mantissa/negative-exponent pairs inside float range
+        # (a plain ``mantissa * 2.0**exp`` would overflow converting the int).
+        exponent = self.exponent
+        while abs(mantissa) > 2**1000:
+            mantissa >>= 64
+            exponent += 64
+        return math.ldexp(float(mantissa), exponent)
+
+    def decrease_exponent_to(self, new_exponent: int) -> "EncodedNumber":
+        """Re-express at a smaller exponent (finer precision, same value)."""
+        if new_exponent > self.exponent:
+            raise ValueError(
+                f"cannot increase exponent {self.exponent} -> {new_exponent} losslessly"
+            )
+        factor = 2 ** (self.exponent - new_exponent)
+        new_encoding = (self.encoding * factor) % self.public_key.n
+        return EncodedNumber(self.public_key, new_encoding, new_exponent)
+
+    def signed_mantissa(self) -> int:
+        """The mantissa as a signed integer (small magnitude for small values)."""
+        if self.encoding <= self.public_key.max_int:
+            return self.encoding
+        if self.encoding >= self.public_key.n - self.public_key.max_int:
+            return self.encoding - self.public_key.n
+        raise OverflowError("encoding fell in the overflow guard band")
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"EncodedNumber(exponent={self.exponent})"

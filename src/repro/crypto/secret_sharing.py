@@ -1,0 +1,112 @@
+"""Two-party additive secret sharing and the HE<->SS conversions.
+
+Implements the paper's Algorithm 1 (``HE2SS``: turn a ciphertext [[v]] into
+shares <phi, v - phi>) and Algorithm 2 (``SS2HE``: turn shares <v_a, v_b>
+into a ciphertext [[v]] under the *other* party's key), plus the plain
+float-tensor sharing used to split model weights (W = U + V) and embedding
+tables (Q = S + T) at initialisation.
+
+Masks are uniform in ``[-scale, scale]``.  Over the reals this is
+statistical rather than perfect hiding (a value shifts the mask's support by
+``|v|/scale``); the paper's fixed-point implementation has the same
+property, and Figure 11's empirical check — share pieces dwarf and decorrelate
+from the true values — is reproduced in the benchmark suite.
+
+Every conversion that puts a ciphertext on the wire *re-randomises* it by
+homomorphically adding a freshly-encrypted mask, so the lazily-unobfuscated
+internal arithmetic (see ``repro.crypto.paillier``) never leaks ciphertext
+history.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.comm.message import MessageKind
+from repro.crypto.crypto_tensor import TENSOR_EXPONENT, CryptoTensor
+
+if TYPE_CHECKING:  # pragma: no cover - runtime uses duck typing to avoid
+    # a circular import (comm.party needs crypto for key generation).
+    from repro.comm.channel import Channel
+    from repro.comm.party import Party
+
+__all__ = [
+    "additive_share",
+    "reconstruct",
+    "he2ss_split",
+    "he2ss_receive",
+    "ss2he_send",
+    "ss2he_combine",
+]
+
+
+def additive_share(
+    values: np.ndarray, rng: np.random.Generator, scale: float
+) -> tuple[np.ndarray, np.ndarray]:
+    """Split ``values`` into ``(mask, values - mask)`` with uniform masks."""
+    values = np.asarray(values, dtype=np.float64)
+    if scale <= 0:
+        raise ValueError("mask scale must be positive")
+    mask = rng.uniform(-scale, scale, size=values.shape)
+    return mask, values - mask
+
+
+def reconstruct(piece_a: np.ndarray, piece_b: np.ndarray) -> np.ndarray:
+    """Rebuild the secret from its two pieces."""
+    return np.asarray(piece_a) + np.asarray(piece_b)
+
+
+def he2ss_split(
+    ciphertext: CryptoTensor,
+    holder: "Party",
+    key_owner_name: str,
+    channel: "Channel",
+    tag: str,
+    mask_scale: float,
+) -> np.ndarray:
+    """Algorithm 1, the branch of the party that does *not* own the key.
+
+    ``holder`` possesses ``[[v]]`` under ``key_owner``'s key.  It draws a
+    random ``phi``, ships the re-randomised ``[[v - phi]]`` to the key owner
+    and keeps ``phi`` as its share piece.
+    """
+    phi = holder.rng.uniform(-mask_scale, mask_scale, size=ciphertext.shape)
+    peer_pk = holder.peer_key(key_owner_name)
+    if peer_pk != ciphertext.public_key:
+        raise ValueError("ciphertext is not under the claimed key owner's key")
+    # Fresh obfuscated encryption of -phi re-randomises the whole sum.
+    masked = ciphertext + CryptoTensor.encrypt(
+        peer_pk, -phi, exponent=TENSOR_EXPONENT, obfuscate=True
+    )
+    channel.send(holder.name, key_owner_name, tag, masked, MessageKind.CIPHERTEXT)
+    return phi
+
+
+def he2ss_receive(key_owner: "Party", channel: "Channel", tag: str) -> np.ndarray:
+    """Algorithm 1, the key owner's branch: receive and decrypt ``v - phi``."""
+    masked = channel.recv(key_owner.name, tag)
+    if not isinstance(masked, CryptoTensor):
+        raise TypeError(f"expected a CryptoTensor for tag {tag!r}")
+    return masked.decrypt(key_owner.private_key)
+
+
+def ss2he_send(
+    own_piece: np.ndarray, me: "Party", peer_name: str, channel: "Channel", tag: str
+) -> None:
+    """Algorithm 2, line 2: encrypt own piece under *own* key and send it."""
+    ciphertext = CryptoTensor.encrypt(
+        me.public_key, np.asarray(own_piece, dtype=np.float64), obfuscate=True
+    )
+    channel.send(me.name, peer_name, tag, ciphertext, MessageKind.CIPHERTEXT)
+
+
+def ss2he_combine(
+    own_piece: np.ndarray, me: "Party", channel: "Channel", tag: str
+) -> CryptoTensor:
+    """Algorithm 2, lines 3-4: combine into ``[[v]]`` under the peer's key."""
+    other_ct = channel.recv(me.name, tag)
+    if not isinstance(other_ct, CryptoTensor):
+        raise TypeError(f"expected a CryptoTensor for tag {tag!r}")
+    return other_ct + np.asarray(own_piece, dtype=np.float64)

@@ -1,0 +1,71 @@
+"""Mini-batch iteration over vertically partitioned data.
+
+Matches the paper's protocol assumptions: both parties iterate the *same*
+batch of instance ids each step (instances are pre-aligned by PSI), labels
+stay at Party B.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from repro.data.partition import PartyData, VerticalDataset
+
+__all__ = ["Batch", "BatchLoader"]
+
+
+@dataclass
+class Batch:
+    """One aligned mini-batch."""
+
+    parties: dict[str, PartyData]
+    y: np.ndarray
+    indices: np.ndarray
+
+    @property
+    def size(self) -> int:
+        return int(self.y.shape[0])
+
+    def party(self, name: str) -> PartyData:
+        return self.parties[name]
+
+
+class BatchLoader:
+    """Shuffling mini-batch loader (drops the final ragged batch)."""
+
+    def __init__(
+        self,
+        dataset: VerticalDataset,
+        batch_size: int,
+        rng: np.random.Generator | None = None,
+        shuffle: bool = True,
+        drop_last: bool = True,
+    ):
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        if batch_size > dataset.n:
+            raise ValueError("batch_size exceeds dataset size")
+        self.dataset = dataset
+        self.batch_size = batch_size
+        self.shuffle = shuffle
+        self.drop_last = drop_last
+        self._rng = rng or np.random.default_rng(0)
+
+    def __len__(self) -> int:
+        if self.drop_last:
+            return self.dataset.n // self.batch_size
+        return (self.dataset.n + self.batch_size - 1) // self.batch_size
+
+    def __iter__(self) -> Iterator[Batch]:
+        order = np.arange(self.dataset.n)
+        if self.shuffle:
+            self._rng.shuffle(order)
+        for start in range(0, self.dataset.n, self.batch_size):
+            idx = order[start : start + self.batch_size]
+            if self.drop_last and idx.shape[0] < self.batch_size:
+                break
+            sliced = self.dataset.take_rows(idx)
+            yield Batch(parties=sliced.parties, y=sliced.y, indices=idx)

@@ -1,0 +1,39 @@
+"""Small wall-clock timer used by the efficiency benchmarks."""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["Timer"]
+
+
+class Timer:
+    """Accumulating stopwatch.
+
+    Usage::
+
+        timer = Timer()
+        with timer:
+            expensive_call()
+        print(timer.elapsed)
+
+    Multiple ``with`` blocks accumulate into ``elapsed``.
+    """
+
+    def __init__(self) -> None:
+        self.elapsed = 0.0
+        self._start: float | None = None
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        if self._start is None:
+            raise RuntimeError("Timer exited without entering")
+        self.elapsed += time.perf_counter() - self._start
+        self._start = None
+
+    def reset(self) -> None:
+        self.elapsed = 0.0
+        self._start = None

@@ -1,0 +1,38 @@
+"""Shared fixtures: short Paillier keys and federation contexts.
+
+Key sizes here are deliberately small (fast pure-Python arithmetic); the
+protocols are key-size agnostic and a couple of tests exercise larger keys
+explicitly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.comm.party import VFLConfig, VFLContext
+from repro.crypto.paillier import generate_paillier_keypair
+
+TEST_KEY_BITS = 128
+
+
+@pytest.fixture(scope="session")
+def keypair():
+    """A session-wide short key pair for crypto unit tests."""
+    return generate_paillier_keypair(TEST_KEY_BITS, seed=42)
+
+
+@pytest.fixture(scope="session")
+def second_keypair():
+    return generate_paillier_keypair(TEST_KEY_BITS, seed=43)
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(7)
+
+
+@pytest.fixture()
+def ctx():
+    """A fresh two-party federation with short keys per test."""
+    return VFLContext(VFLConfig(key_bits=TEST_KEY_BITS), seed=11)

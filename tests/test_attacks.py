@@ -1,0 +1,140 @@
+"""Tests for the privacy-attack implementations (§7.2).
+
+These check the attacks themselves (they must work where the paper says
+they work) AND the defenses (they must fail against BlindFL's protocols).
+"""
+
+import numpy as np
+import pytest
+
+from repro.attacks.activation_attack import activation_attack_score
+from repro.attacks.derivative_attack import (
+    attack_accuracy_over_batches,
+    cosine_direction_attack,
+)
+from repro.attacks.feature_similarity import pairwise_distance_correlation
+from repro.attacks.model_attack import piece_vs_weight_stats
+
+
+# ---------- activation attack ----------
+
+
+def test_activation_attack_detects_informative_logits(rng):
+    y = rng.integers(0, 2, size=400)
+    logits = (2.0 * y - 1.0) + rng.normal(0, 0.5, size=400)
+    assert activation_attack_score(logits, y) > 0.9
+
+
+def test_activation_attack_random_logits_are_chance(rng):
+    y = rng.integers(0, 2, size=400)
+    logits = rng.normal(size=400)
+    assert abs(activation_attack_score(logits, y) - 0.5) < 0.1
+
+
+def test_activation_attack_multiclass(rng):
+    y = rng.integers(0, 3, size=300)
+    logits = np.eye(3)[y] * 2.0 + rng.normal(0, 0.3, size=(300, 3))
+    assert activation_attack_score(logits, y, n_classes=3) > 0.9
+    with pytest.raises(ValueError):
+        activation_attack_score(np.zeros((10, 2)), y[:10], n_classes=3)
+
+
+# ---------- derivative attack ----------
+
+
+def test_cosine_attack_recovers_opposite_directions(rng):
+    """Binary logistic derivatives: positives vs negatives anti-align."""
+    direction = rng.normal(size=12)
+    y = rng.integers(0, 2, size=64)
+    sign = 2.0 * y - 1.0
+    grads = sign[:, None] * direction[None, :] * rng.uniform(0.5, 1.5, (64, 1))
+    grads += rng.normal(0, 0.05, size=grads.shape)
+    clusters = cosine_direction_attack(grads)
+    acc = max((clusters == y).mean(), (clusters != y).mean())
+    assert acc > 0.95
+
+
+def test_cosine_attack_over_batches(rng):
+    direction = rng.normal(size=8)
+    grads, labels = [], []
+    for _ in range(5):
+        y = rng.integers(0, 2, size=32)
+        g = (2.0 * y - 1.0)[:, None] * direction[None, :]
+        g += rng.normal(0, 0.02, size=g.shape)
+        grads.append(g)
+        labels.append(y)
+    assert attack_accuracy_over_batches(grads, labels) > 0.97
+
+
+def test_cosine_attack_on_noise_is_chance(rng):
+    grads = [rng.normal(size=(40, 8)) for _ in range(4)]
+    labels = [rng.integers(0, 2, size=40) for _ in range(4)]
+    acc = attack_accuracy_over_batches(grads, labels)
+    assert acc < 0.75  # max(acc, 1-acc) on noise stays near 0.5-0.65
+
+
+def test_cosine_attack_input_validation(rng):
+    with pytest.raises(ValueError):
+        cosine_direction_attack(np.zeros(5))
+    with pytest.raises(ValueError):
+        attack_accuracy_over_batches([], [])
+    assert not cosine_direction_attack(np.zeros((4, 3))).any()
+
+
+# ---------- model piece analysis ----------
+
+
+def test_piece_stats_detect_leak(rng):
+    w = rng.normal(size=500)
+    leaky_piece = w + rng.normal(0, 0.1, size=500)  # almost the weights
+    stats = piece_vs_weight_stats(leaky_piece, w)
+    assert stats.leaks()
+    assert stats.correlation > 0.9
+    assert stats.sign_agreement > 0.9
+
+
+def test_piece_stats_no_leak_for_random_pieces(rng):
+    w = rng.normal(size=500) * 0.05
+    piece = rng.uniform(-50, 50, size=500)
+    stats = piece_vs_weight_stats(piece, w)
+    assert not stats.leaks()
+    assert stats.magnitude_ratio > 100
+    assert abs(stats.sign_agreement - 0.5) < 0.1
+
+
+def test_piece_stats_validation(rng):
+    with pytest.raises(ValueError):
+        piece_vs_weight_stats(np.ones(3), np.ones(4))
+    with pytest.raises(ValueError):
+        piece_vs_weight_stats(np.ones(1), np.ones(1))
+    stats = piece_vs_weight_stats(np.zeros(10), np.zeros(10))
+    assert stats.correlation == 0.0
+
+
+# ---------- feature similarity ----------
+
+
+def test_similarity_attack_on_linear_transform(rng):
+    """X_A W_A preserves distance structure -> high correlation (the leak)."""
+    x = rng.normal(size=(40, 10))
+    w = rng.normal(size=(10, 8))
+    corr = pairwise_distance_correlation(x, x @ w)
+    # A random projection preserves most of the distance structure; the
+    # contrast with the masked-share case below is the point.
+    assert corr > 0.45
+
+
+def test_similarity_attack_on_masked_share(rng):
+    """A masked share (BlindFL's Z'_A) carries no distance structure."""
+    x = rng.normal(size=(40, 10))
+    observed = x @ rng.normal(size=(10, 6)) + rng.uniform(-1000, 1000, (40, 6))
+    corr = pairwise_distance_correlation(x, observed)
+    assert abs(corr) < 0.2
+
+
+def test_similarity_validation(rng):
+    with pytest.raises(ValueError):
+        pairwise_distance_correlation(np.ones((3, 2)), np.ones((4, 2)))
+    with pytest.raises(ValueError):
+        pairwise_distance_correlation(np.ones((2, 2)), np.ones((2, 2)))
+    assert pairwise_distance_correlation(np.ones((5, 2)), np.ones((5, 2))) == 0.0

@@ -1,0 +1,104 @@
+"""Tests for the channel/party runtime."""
+
+import numpy as np
+import pytest
+
+from repro.comm.channel import Channel, payload_nbytes
+from repro.comm.message import MessageKind
+from repro.comm.party import VFLConfig, VFLContext
+from repro.crypto.crypto_tensor import CryptoTensor
+
+
+def test_send_recv_fifo():
+    ch = Channel()
+    ch.send("A", "B", "t1", 1, MessageKind.PUBLIC)
+    ch.send("A", "B", "t2", 2, MessageKind.PUBLIC)
+    assert ch.recv("B", "t1") == 1
+    assert ch.recv("B", "t2") == 2
+
+
+def test_recv_empty_raises():
+    ch = Channel()
+    with pytest.raises(LookupError):
+        ch.recv("B")
+
+
+def test_recv_tag_mismatch_raises():
+    ch = Channel()
+    ch.send("A", "B", "x", 1, MessageKind.PUBLIC)
+    with pytest.raises(LookupError, match="desync"):
+        ch.recv("B", "y")
+
+
+def test_self_send_rejected():
+    ch = Channel()
+    with pytest.raises(ValueError):
+        ch.send("A", "A", "t", 1, MessageKind.PUBLIC)
+
+
+def test_transcript_and_views():
+    ch = Channel()
+    ch.send("A", "B", "t", 1, MessageKind.SHARE)
+    ch.send("B", "A", "u", 2, MessageKind.CIPHERTEXT)
+    assert len(ch.transcript) == 2
+    assert [m.tag for m in ch.view_of("B")] == ["t"]
+    assert [m.tag for m in ch.view_of("A")] == ["u"]
+    assert ch.messages_by_kind[MessageKind.SHARE] == 1
+    ch.recv("B")
+    ch.recv("A")
+
+
+def test_byte_accounting(ctx):
+    arr = np.ones((4, 4))
+    ctx.channel.send("A", "B", "t", arr, MessageKind.SHARE)
+    assert ctx.channel.bytes_by_sender["A"] == arr.nbytes
+    ct = CryptoTensor.encrypt(ctx.B.public_key, np.ones(3))
+    ctx.channel.send("A", "B", "c", ct, MessageKind.CIPHERTEXT)
+    assert ctx.channel.total_bytes() == arr.nbytes + 3 * 512
+    ctx.channel.recv("B")
+    ctx.channel.recv("B")
+
+
+def test_payload_nbytes_variants(ctx):
+    assert payload_nbytes(3) == 8
+    assert payload_nbytes([np.ones(2), 1.0]) == 16 + 8
+    assert payload_nbytes("metadata") == 0
+    enc = ctx.A.public_key.encrypt(1.0)
+    assert payload_nbytes(enc) == 512
+
+
+def test_reset_stats_requires_drained_queues():
+    ch = Channel()
+    ch.send("A", "B", "t", 1, MessageKind.PUBLIC)
+    with pytest.raises(RuntimeError):
+        ch.reset_stats()
+    ch.recv("B")
+    ch.reset_stats()
+    assert ch.transcript == [] and ch.total_bytes() == 0
+
+
+def test_context_two_party_default(ctx):
+    assert ctx.A.name == "A" and ctx.B.name == "B"
+    assert ctx.A.peer_key("B") == ctx.B.public_key
+    assert ctx.B.peer_key("A") == ctx.A.public_key
+    assert ctx.A.public_key != ctx.B.public_key
+
+
+def test_context_multi_party():
+    mctx = VFLContext(VFLConfig(key_bits=128), seed=3, n_a_parties=3)
+    names = [p.name for p in mctx.a_parties()]
+    assert names == ["A1", "A2", "A3"]
+    assert mctx.parties["A2"].peer_key("B") == mctx.B.public_key
+    assert mctx.parties["A1"].public_key != mctx.parties["A2"].public_key
+
+
+def test_context_validation():
+    with pytest.raises(ValueError):
+        VFLContext(n_a_parties=0)
+    with pytest.raises(ValueError):
+        VFLConfig(share_refresh="bogus")
+
+
+def test_peer_key_unknown_party(ctx):
+    with pytest.raises(KeyError):
+        ctx.A.peer_key("C")

@@ -1,0 +1,83 @@
+"""Unit tests for the number-theory primitives."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.math_utils import (
+    crt_pair,
+    generate_prime,
+    invmod,
+    is_probable_prime,
+    lcm,
+)
+
+KNOWN_PRIMES = [2, 3, 5, 7, 11, 101, 7919, 104729, (1 << 61) - 1]
+KNOWN_COMPOSITES = [1, 4, 9, 15, 91, 561, 41041, 825265, (1 << 61) - 3]
+
+
+@pytest.mark.parametrize("p", KNOWN_PRIMES)
+def test_known_primes_pass(p):
+    assert is_probable_prime(p)
+
+
+@pytest.mark.parametrize("n", KNOWN_COMPOSITES)
+def test_known_composites_fail(n):
+    # 561, 41041, 825265 are Carmichael numbers - Fermat liars for all bases.
+    assert not is_probable_prime(n)
+
+
+def test_negative_and_zero_are_not_prime():
+    assert not is_probable_prime(0)
+    assert not is_probable_prime(-7)
+
+
+def test_generate_prime_has_exact_bit_length():
+    rng = random.Random(1)
+    for bits in (16, 32, 64, 128):
+        p = generate_prime(bits, rng)
+        assert p.bit_length() == bits
+        assert is_probable_prime(p)
+
+
+def test_generate_prime_rejects_tiny_sizes():
+    with pytest.raises(ValueError):
+        generate_prime(4, random.Random(0))
+
+
+def test_generate_prime_is_deterministic_per_seed():
+    assert generate_prime(64, random.Random(5)) == generate_prime(64, random.Random(5))
+
+
+@given(st.integers(min_value=2, max_value=10**9))
+@settings(max_examples=60)
+def test_invmod_inverts(a):
+    m = (1 << 61) - 1  # prime modulus, every nonzero residue invertible
+    a %= m
+    if a == 0:
+        a = 1
+    inv = invmod(a, m)
+    assert (a * inv) % m == 1
+
+
+def test_invmod_raises_when_not_coprime():
+    with pytest.raises(ValueError):
+        invmod(6, 9)
+
+
+@given(st.integers(min_value=1, max_value=10**6), st.integers(min_value=1, max_value=10**6))
+@settings(max_examples=60)
+def test_lcm_divisible_by_both(a, b):
+    ell = lcm(a, b)
+    assert ell % a == 0 and ell % b == 0
+    assert ell <= a * b
+
+
+def test_crt_pair_reconstructs():
+    p, q = 10007, 10009
+    q_inv_p = invmod(q, p)
+    for value in (0, 1, 12345, p * q - 1, 99999999):
+        v = value % (p * q)
+        assert crt_pair(v % p, v % q, p, q, q_inv_p) == v

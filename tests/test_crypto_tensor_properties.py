@@ -1,0 +1,102 @@
+"""Hypothesis property tests on CryptoTensor arithmetic.
+
+Encrypted-tensor operations must commute with decryption for arbitrary
+(well-conditioned) inputs — the algebraic backbone every protocol relies
+on.  Shapes stay tiny so each example costs a handful of modexps.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.crypto_tensor import CryptoTensor, sparse_t_matmul_cipher
+from repro.tensor.sparse import CSRMatrix
+
+values = st.floats(min_value=-100.0, max_value=100.0, allow_nan=False)
+
+
+def arrays(rows, cols):
+    return st.lists(
+        st.lists(values, min_size=cols, max_size=cols),
+        min_size=rows,
+        max_size=rows,
+    ).map(lambda rows_: np.array(rows_, dtype=np.float64))
+
+
+@given(arrays(2, 3), arrays(2, 3))
+@settings(max_examples=10, deadline=None)
+def test_addition_homomorphism(keypair, a, b):
+    pk, sk = keypair
+    out = CryptoTensor.encrypt(pk, a) + CryptoTensor.encrypt(pk, b)
+    np.testing.assert_allclose(out.decrypt(sk), a + b, atol=1e-6)
+
+
+@given(arrays(2, 2), st.floats(min_value=-50, max_value=50, allow_nan=False))
+@settings(max_examples=10, deadline=None)
+def test_scalar_mul_homomorphism(keypair, a, c):
+    pk, sk = keypair
+    out = CryptoTensor.encrypt(pk, a) * c
+    np.testing.assert_allclose(out.decrypt(sk), a * c, atol=1e-4)
+
+
+@given(arrays(2, 3), arrays(3, 2))
+@settings(max_examples=10, deadline=None)
+def test_matmul_homomorphism(keypair, x, v):
+    pk, sk = keypair
+    out = x @ CryptoTensor.encrypt(pk, v)
+    np.testing.assert_allclose(out.decrypt(sk), x @ v, atol=1e-3)
+
+
+@given(arrays(3, 4))
+@settings(max_examples=10, deadline=None)
+def test_negation_involution(keypair, a):
+    pk, sk = keypair
+    out = -(-CryptoTensor.encrypt(pk, a))
+    np.testing.assert_allclose(out.decrypt(sk), a, atol=1e-6)
+
+
+@given(arrays(3, 4))
+@settings(max_examples=8, deadline=None)
+def test_sparse_t_matmul_matches_dense(keypair, dense):
+    pk, sk = keypair
+    dense = dense.copy()
+    dense[np.abs(dense) < 30] = 0.0  # sparsify
+    csr = CSRMatrix.from_dense(dense)
+    g = np.arange(1.0, 7.0).reshape(3, 2)
+    ct = CryptoTensor.encrypt(pk, g)
+    out = sparse_t_matmul_cipher(csr, ct)
+    np.testing.assert_allclose(out.decrypt(sk), dense.T @ g, atol=1e-3)
+
+
+def test_sparse_t_matmul_restricted_columns(keypair, rng):
+    pk, sk = keypair
+    dense = np.zeros((3, 8))
+    dense[:, [1, 4, 6]] = rng.normal(size=(3, 3))
+    csr = CSRMatrix.from_dense(dense)
+    g = rng.normal(size=(3, 2))
+    ct = CryptoTensor.encrypt(pk, g)
+    cols = np.array([1, 4, 6])
+    out = sparse_t_matmul_cipher(csr, ct, columns=cols)
+    np.testing.assert_allclose(out.decrypt(sk), dense[:, cols].T @ g, atol=1e-6)
+
+
+def test_sparse_t_matmul_rejects_column_outside_support(keypair, rng):
+    import pytest
+
+    pk, _ = keypair
+    dense = np.zeros((2, 5))
+    dense[:, 2] = 1.0
+    csr = CSRMatrix.from_dense(dense)
+    ct = CryptoTensor.encrypt(pk, rng.normal(size=(2, 1)))
+    with pytest.raises(IndexError):
+        sparse_t_matmul_cipher(csr, ct, columns=np.array([0, 1]))
+
+
+def test_sparse_t_matmul_shape_mismatch(keypair, rng):
+    import pytest
+
+    pk, _ = keypair
+    csr = CSRMatrix.from_dense(rng.normal(size=(4, 3)))
+    ct = CryptoTensor.encrypt(pk, rng.normal(size=(5, 1)))
+    with pytest.raises(ValueError):
+        sparse_t_matmul_cipher(csr, ct)

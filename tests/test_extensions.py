@@ -1,0 +1,191 @@
+"""Tests for the appendix extensions: multi-party (Alg. 3) and SS tops (App. B)."""
+
+import numpy as np
+import pytest
+
+from repro.comm.message import MessageKind
+from repro.comm.party import VFLConfig, VFLContext
+from repro.core.federated_top import (
+    IdealSSTop,
+    matmul_backward_from_shares,
+    train_lr_with_ss_top,
+)
+from repro.core.matmul_layer import MatMulSource
+from repro.core.multiparty import MultiPartyMatMulSource
+from repro.core.trainer import TrainConfig
+from repro.data.partition import split_vertical
+from repro.data.synthetic import make_dense_classification
+
+KEY_BITS = 128
+
+
+def mp_ctx(m=2, seed=8):
+    return VFLContext(VFLConfig(key_bits=KEY_BITS), seed=seed, n_a_parties=m)
+
+
+def two_ctx(seed=8):
+    return VFLContext(VFLConfig(key_bits=KEY_BITS), seed=seed)
+
+
+# ---------- Algorithm 3: multi-party ----------
+
+
+def test_multiparty_forward_lossless(rng):
+    ctx = mp_ctx(m=2)
+    layer = MultiPartyMatMulSource(ctx, {"A1": 4, "A2": 3}, in_b=5, out_dim=2)
+    w = layer.reveal_weights()
+    x = {
+        "A1": rng.normal(size=(6, 4)),
+        "A2": rng.normal(size=(6, 3)),
+        "B": rng.normal(size=(6, 5)),
+    }
+    z = layer.forward(x)
+    expected = x["A1"] @ w["W_A1"] + x["A2"] @ w["W_A2"] + x["B"] @ w["W_B"]
+    np.testing.assert_allclose(z, expected, atol=1e-4)
+
+
+def test_multiparty_three_a_parties(rng):
+    ctx = mp_ctx(m=3)
+    dims = {"A1": 3, "A2": 3, "A3": 2}
+    layer = MultiPartyMatMulSource(ctx, dims, in_b=4, out_dim=1)
+    w = layer.reveal_weights()
+    x = {name: rng.normal(size=(5, d)) for name, d in dims.items()}
+    x["B"] = rng.normal(size=(5, 4))
+    z = layer.forward(x)
+    expected = sum(x[n] @ w[f"W_{n}"] for n in dims) + x["B"] @ w["W_B"]
+    np.testing.assert_allclose(z, expected, atol=1e-4)
+
+
+def test_multiparty_backward_matches_plaintext(rng):
+    ctx = mp_ctx(m=2)
+    layer = MultiPartyMatMulSource(ctx, {"A1": 4, "A2": 3}, in_b=5, out_dim=1)
+    w0 = layer.reveal_weights()
+    x = {
+        "A1": rng.normal(size=(6, 4)),
+        "A2": rng.normal(size=(6, 3)),
+        "B": rng.normal(size=(6, 5)),
+    }
+    layer.forward(x)
+    grad_z = rng.normal(size=(6, 1)) * 0.1
+    layer.backward(grad_z)
+    layer.apply_updates(lr=0.1, momentum=0.0)
+    w1 = layer.reveal_weights()
+    for name in ("A1", "A2", "B"):
+        np.testing.assert_allclose(
+            w1[f"W_{name}"],
+            w0[f"W_{name}"] - 0.1 * (x[name].T @ grad_z),
+            atol=1e-4,
+        )
+
+
+def test_multiparty_no_plaintext_messages(rng):
+    ctx = mp_ctx(m=2)
+    layer = MultiPartyMatMulSource(ctx, {"A1": 3, "A2": 3}, in_b=3, out_dim=1)
+    x = {n: rng.normal(size=(4, 3)) for n in ("A1", "A2", "B")}
+    layer.forward(x)
+    layer.backward(rng.normal(size=(4, 1)))
+    layer.apply_updates(lr=0.05, momentum=0.9)
+    assert MessageKind.PLAINTEXT not in {m.kind for m in ctx.channel.transcript}
+
+
+def test_multiparty_validation():
+    ctx = two_ctx()
+    with pytest.raises(ValueError, match="two-party"):
+        MultiPartyMatMulSource(ctx, {"A": 3}, in_b=3, out_dim=1)
+    mctx = mp_ctx(m=2)
+    with pytest.raises(ValueError, match="cover"):
+        MultiPartyMatMulSource(mctx, {"A1": 3}, in_b=3, out_dim=1)
+
+
+def test_multiparty_federated_parameters():
+    ctx = mp_ctx(m=2)
+    layer = MultiPartyMatMulSource(ctx, {"A1": 3, "A2": 4}, in_b=5, out_dim=1)
+    params = {p.name: p for p in layer.federated_parameters()}
+    assert set(params) == {"mp-matmul.W_A1", "mp-matmul.W_A2", "mp-matmul.W_B"}
+    assert params["mp-matmul.W_B"].holders == {"U": "B", "V(A1)": "A1", "V(A2)": "A2"}
+
+
+def test_multiparty_momentum_training_steps(rng):
+    ctx = mp_ctx(m=2)
+    layer = MultiPartyMatMulSource(ctx, {"A1": 3, "A2": 3}, in_b=3, out_dim=1)
+    w = layer.reveal_weights()
+    ref = {k: v.copy() for k, v in w.items()}
+    vel = {k: np.zeros_like(v) for k, v in w.items()}
+    for _ in range(2):
+        x = {n: rng.normal(size=(4, 3)) for n in ("A1", "A2", "B")}
+        layer.forward(x)
+        gz = rng.normal(size=(4, 1)) * 0.1
+        layer.backward(gz)
+        layer.apply_updates(lr=0.05, momentum=0.9)
+        for n in ("A1", "A2", "B"):
+            vel[f"W_{n}"] = 0.9 * vel[f"W_{n}"] + x[n].T @ gz
+            ref[f"W_{n}"] -= 0.05 * vel[f"W_{n}"]
+    w1 = layer.reveal_weights()
+    for k in ref:
+        np.testing.assert_allclose(w1[k], ref[k], atol=1e-4)
+
+
+# ---------- Appendix B: SS-based top model ----------
+
+
+def test_ss_top_backward_matches_plaintext(rng):
+    """Figure 13 backward must equal the plaintext update exactly."""
+    ctx = two_ctx()
+    layer = MatMulSource(ctx, 4, 3, 1, name="sst")
+    w0 = layer.reveal_weights()
+    x_a = rng.normal(size=(6, 4))
+    x_b = rng.normal(size=(6, 3))
+    z_a, z_b = layer.forward_shares(x_a, x_b)
+    w = layer.reveal_weights()
+    np.testing.assert_allclose(
+        z_a + z_b, x_a @ w["W_A"] + x_b @ w["W_B"], atol=1e-5
+    )
+    grad_z = rng.normal(size=(6, 1)) * 0.1
+    eps = rng.uniform(-100, 100, size=(6, 1))
+    matmul_backward_from_shares(layer, eps, grad_z - eps, lr=0.1, momentum=0.0)
+    w1 = layer.reveal_weights()
+    np.testing.assert_allclose(w1["W_A"], w0["W_A"] - 0.1 * x_a.T @ grad_z, atol=1e-4)
+    np.testing.assert_allclose(w1["W_B"], w0["W_B"] - 0.1 * x_b.T @ grad_z, atol=1e-4)
+
+
+def test_ss_top_second_iteration_consistent(rng):
+    """After the dual refresh, the next forward uses the updated weights."""
+    ctx = two_ctx()
+    layer = MatMulSource(ctx, 3, 3, 1, name="sst2")
+    x_a, x_b = rng.normal(size=(4, 3)), rng.normal(size=(4, 3))
+    layer.forward_shares(x_a, x_b)
+    grad_z = rng.normal(size=(4, 1)) * 0.1
+    eps = rng.uniform(-10, 10, size=(4, 1))
+    matmul_backward_from_shares(layer, eps, grad_z - eps, lr=0.1, momentum=0.0)
+    w1 = layer.reveal_weights()
+    z_a, z_b = layer.forward_shares(x_a, x_b)
+    np.testing.assert_allclose(
+        z_a + z_b, x_a @ w1["W_A"] + x_b @ w1["W_B"], atol=1e-4
+    )
+
+
+def test_ideal_ss_top_grad_is_bce_grad(rng):
+    top = IdealSSTop(rng)
+    z_a = rng.normal(size=(8, 1))
+    z_b = rng.normal(size=(8, 1))
+    y = rng.integers(0, 2, size=(8, 1)).astype(float)
+    eps, rest, loss = top.backward_shares(z_a, z_b, y)
+    z = z_a + z_b
+    probs = 1 / (1 + np.exp(-z))
+    np.testing.assert_allclose(eps + rest, (probs - y) / 8, atol=1e-9)
+    assert loss > 0
+
+
+def test_train_lr_with_ss_top_converges():
+    full = make_dense_classification(160, 8, seed=40, flip=0.02, nonlinear=False)
+    train = split_vertical(full.subset(np.arange(120)))
+    test = split_vertical(full.subset(np.arange(120, 160)))
+    ctx = two_ctx()
+    cfg = TrainConfig(epochs=2, batch_size=16, lr=0.1, momentum=0.9)
+    layer, history = train_lr_with_ss_top(ctx, train, cfg, test_data=test)
+    assert history.losses[-1] < history.losses[0]
+    assert history.epoch_metrics[-1] > 0.6
+    # Party B never received the aggregated Z: no OUTPUT_SHARE messages.
+    kinds = {m.kind for m in ctx.channel.transcript}
+    assert MessageKind.OUTPUT_SHARE not in kinds
+    assert MessageKind.PLAINTEXT not in kinds

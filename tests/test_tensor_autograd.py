@@ -1,0 +1,178 @@
+"""Autograd engine tests, including finite-difference gradient checks."""
+
+import numpy as np
+import pytest
+
+from repro.tensor.tensor import Tensor, no_grad
+
+
+def numerical_grad(fn, x: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    """Central finite differences of a scalar-valued fn."""
+    grad = np.zeros_like(x, dtype=np.float64)
+    flat = x.ravel()
+    gflat = grad.ravel()
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + eps
+        hi = fn(x)
+        flat[i] = orig - eps
+        lo = fn(x)
+        flat[i] = orig
+        gflat[i] = (hi - lo) / (2 * eps)
+    return grad
+
+
+def check_grad(build, x0: np.ndarray, atol: float = 1e-5):
+    """Compare autograd against finite differences for scalar outputs."""
+    t = Tensor(x0.copy(), requires_grad=True)
+    out = build(t)
+    out.backward()
+    num = numerical_grad(lambda arr: build(Tensor(arr)).item(), x0.copy())
+    np.testing.assert_allclose(t.grad, num, atol=atol)
+
+
+@pytest.fixture()
+def x(rng):
+    return rng.normal(size=(3, 4))
+
+
+def test_add_grad(x):
+    check_grad(lambda t: (t + 2.0).sum(), x)
+
+
+def test_mul_grad(x, rng):
+    other = rng.normal(size=x.shape)
+    check_grad(lambda t: (t * other).sum(), x)
+
+
+def test_broadcast_add_grad(x, rng):
+    row = rng.normal(size=(1, x.shape[1]))
+    check_grad(lambda t: (t + row).sum(), x)
+    bias = Tensor(row.copy(), requires_grad=True)
+    out = (Tensor(x) + bias).sum()
+    out.backward()
+    assert bias.grad.shape == row.shape
+    np.testing.assert_allclose(bias.grad, np.full(row.shape, x.shape[0]))
+
+
+def test_matmul_grad(x, rng):
+    w = rng.normal(size=(4, 2))
+    check_grad(lambda t: (t @ w).sum(), x)
+    wt = Tensor(w.copy(), requires_grad=True)
+    ((Tensor(x) @ wt).sum()).backward()
+    np.testing.assert_allclose(wt.grad, x.T @ np.ones((3, 2)) @ np.eye(2), atol=1e-9)
+
+
+def test_matmul_vector_grad(rng):
+    v = rng.normal(size=4)
+    check_grad(lambda t: (t @ np.ones(4)).sum(), rng.normal(size=(3, 4)))
+    t = Tensor(v.copy(), requires_grad=True)
+    (Tensor(np.ones((2, 4))) @ t).sum().backward()
+    np.testing.assert_allclose(t.grad, 2 * np.ones(4))
+
+
+@pytest.mark.parametrize(
+    "op", ["relu", "sigmoid", "tanh", "exp"]
+)
+def test_unary_grads(op, x):
+    check_grad(lambda t: getattr(t, op)().sum(), x)
+
+
+def test_log_grad(rng):
+    x = rng.uniform(0.5, 2.0, size=(3, 3))
+    check_grad(lambda t: t.log().sum(), x)
+
+
+def test_pow_grad(rng):
+    x = rng.uniform(0.5, 2.0, size=(2, 3))
+    check_grad(lambda t: t.pow(3.0).sum(), x)
+
+
+def test_div_grad(rng):
+    x = rng.uniform(0.5, 2.0, size=(2, 3))
+    other = rng.uniform(1.0, 2.0, size=(2, 3))
+    check_grad(lambda t: (t / other).sum(), x)
+    check_grad(lambda t: (Tensor(other) / t).sum(), x)
+
+
+def test_sum_axis_grads(x):
+    check_grad(lambda t: t.sum(axis=0).sum(), x)
+    check_grad(lambda t: t.sum(axis=1, keepdims=True).sum(), x)
+    check_grad(lambda t: t.mean(axis=1).sum(), x)
+    check_grad(lambda t: t.mean().sum(), x)
+
+
+def test_reshape_transpose_grads(x):
+    check_grad(lambda t: (t.reshape(4, 3) @ np.ones((3, 1))).sum(), x)
+    check_grad(lambda t: (t.T @ np.ones((3, 1))).sum(), x)
+
+
+def test_getitem_grad(x):
+    check_grad(lambda t: t[1].sum(), x)
+    check_grad(lambda t: t[:, 2].sum(), x)
+
+
+def test_concat_grad(rng):
+    a0 = rng.normal(size=(2, 3))
+    b0 = rng.normal(size=(2, 2))
+    a = Tensor(a0, requires_grad=True)
+    b = Tensor(b0, requires_grad=True)
+    out = Tensor.concat([a, b], axis=1)
+    (out * out).sum().backward()
+    np.testing.assert_allclose(a.grad, 2 * a0, atol=1e-9)
+    np.testing.assert_allclose(b.grad, 2 * b0, atol=1e-9)
+
+
+def test_grad_accumulates_across_uses(rng):
+    x0 = rng.normal(size=(2, 2))
+    t = Tensor(x0, requires_grad=True)
+    out = (t + t).sum() + (t * 3.0).sum()
+    out.backward()
+    np.testing.assert_allclose(t.grad, 5 * np.ones_like(x0))
+
+
+def test_diamond_graph_grad():
+    t = Tensor(np.array([2.0]), requires_grad=True)
+    a = t * 3.0
+    b = t * 4.0
+    ((a + b) * 2.0).sum().backward()
+    np.testing.assert_allclose(t.grad, [14.0])
+
+
+def test_backward_requires_scalar():
+    t = Tensor(np.ones((2, 2)), requires_grad=True)
+    with pytest.raises(RuntimeError):
+        (t * 2.0).backward()
+
+
+def test_backward_with_explicit_grad():
+    t = Tensor(np.ones((2, 2)), requires_grad=True)
+    out = t * 3.0
+    out.backward(np.full((2, 2), 0.5))
+    np.testing.assert_allclose(t.grad, np.full((2, 2), 1.5))
+    with pytest.raises(ValueError):
+        out.backward(np.ones(3))
+
+
+def test_no_grad_blocks_graph():
+    t = Tensor(np.ones(2), requires_grad=True)
+    with no_grad():
+        out = (t * 2.0).sum()
+    assert not out.requires_grad
+    assert out._prev == ()
+
+
+def test_detach_cuts_graph():
+    t = Tensor(np.ones(2), requires_grad=True)
+    out = (t.detach() * 2.0).sum()
+    assert not out.requires_grad
+
+
+def test_deep_graph_no_recursion_limit():
+    """Iterative topo-sort must handle graphs deeper than the C stack."""
+    t = Tensor(np.array([1.0]), requires_grad=True)
+    out = t
+    for _ in range(5000):
+        out = out + 1.0
+    out.sum().backward()
+    np.testing.assert_allclose(t.grad, [1.0])

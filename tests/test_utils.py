@@ -1,0 +1,155 @@
+"""Tests for metrics, table formatting, timers and RNG management."""
+
+import time
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.utils.metrics import accuracy, binary_logloss, roc_auc, softmax_logloss
+from repro.utils.rng import new_rng, spawn_rngs
+from repro.utils.tabulate import format_table
+from repro.utils.timer import Timer
+
+
+# ---------- roc_auc ----------
+
+
+def test_auc_perfect_separation():
+    y = np.array([0, 0, 1, 1])
+    assert roc_auc(y, np.array([0.1, 0.2, 0.8, 0.9])) == 1.0
+    assert roc_auc(y, np.array([0.9, 0.8, 0.2, 0.1])) == 0.0
+
+
+def test_auc_chance_for_constant_scores():
+    y = np.array([0, 1, 0, 1])
+    assert roc_auc(y, np.zeros(4)) == pytest.approx(0.5)  # all tied -> 0.5
+
+
+def test_auc_handles_ties_with_midranks():
+    y = np.array([0, 1, 1, 0])
+    s = np.array([0.5, 0.5, 0.9, 0.1])
+    # pairs: (1a vs 0a): tie=0.5; (1a vs 0b): win; (1b vs 0a): win; (1b vs 0b): win
+    assert roc_auc(y, s) == pytest.approx((0.5 + 3) / 4)
+
+
+def test_auc_validation():
+    with pytest.raises(ValueError, match="at least one"):
+        roc_auc(np.ones(4), np.arange(4))
+    with pytest.raises(ValueError, match="shape"):
+        roc_auc(np.array([0, 1]), np.arange(3))
+
+
+@given(st.integers(min_value=2, max_value=50))
+@settings(max_examples=20)
+def test_auc_antisymmetry(n):
+    rng = np.random.default_rng(n)
+    y = rng.integers(0, 2, size=n)
+    if y.min() == y.max():
+        y[0] = 1 - y[0]
+    s = rng.normal(size=n)
+    assert roc_auc(y, s) == pytest.approx(1.0 - roc_auc(y, -s), abs=1e-12)
+
+
+def test_auc_matches_pairwise_definition(rng):
+    y = rng.integers(0, 2, size=30)
+    y[:2] = [0, 1]
+    s = rng.normal(size=30)
+    pos, neg = s[y == 1], s[y == 0]
+    wins = sum((p > q) + 0.5 * (p == q) for p in pos for q in neg)
+    assert roc_auc(y, s) == pytest.approx(wins / (len(pos) * len(neg)))
+
+
+# ---------- other metrics ----------
+
+
+def test_accuracy_basic():
+    assert accuracy([1, 2, 3], [1, 2, 4]) == pytest.approx(2 / 3)
+    with pytest.raises(ValueError):
+        accuracy([], [])
+    with pytest.raises(ValueError):
+        accuracy([1], [1, 2])
+
+
+def test_binary_logloss_reference(rng):
+    y = rng.integers(0, 2, size=20).astype(float)
+    p = rng.uniform(0.01, 0.99, size=20)
+    ref = -np.mean(y * np.log(p) + (1 - y) * np.log(1 - p))
+    assert binary_logloss(y, p) == pytest.approx(ref)
+    # Clipping keeps extreme probabilities finite.
+    assert np.isfinite(binary_logloss(np.array([1.0]), np.array([0.0])))
+
+
+def test_softmax_logloss_reference(rng):
+    logits = rng.normal(size=(10, 3))
+    y = rng.integers(0, 3, size=10)
+    z = logits - logits.max(axis=1, keepdims=True)
+    probs = np.exp(z) / np.exp(z).sum(axis=1, keepdims=True)
+    ref = -np.mean(np.log(probs[np.arange(10), y]))
+    assert softmax_logloss(y, logits) == pytest.approx(ref, abs=1e-9)
+    with pytest.raises(ValueError):
+        softmax_logloss(y, logits[:5])
+
+
+# ---------- tabulate ----------
+
+
+def test_format_table_alignment():
+    out = format_table(["col", "x"], [["a", 1], ["long-cell", 2.5]], title="T")
+    lines = out.splitlines()
+    assert lines[0] == "T"
+    assert "long-cell" in out
+    widths = {len(line) for line in lines[1:]}
+    assert len(widths) == 1  # all rows aligned to the same width
+
+
+def test_format_table_scientific_for_extremes():
+    out = format_table(["v"], [[0.0000001], [1e7]])
+    assert "e-07" in out and "e+07" in out
+
+
+def test_format_table_rejects_ragged_rows():
+    with pytest.raises(ValueError):
+        format_table(["a", "b"], [[1]])
+
+
+# ---------- timer ----------
+
+
+def test_timer_accumulates():
+    t = Timer()
+    with t:
+        time.sleep(0.01)
+    first = t.elapsed
+    with t:
+        time.sleep(0.01)
+    assert t.elapsed > first >= 0.01
+    t.reset()
+    assert t.elapsed == 0.0
+
+
+def test_timer_misuse():
+    t = Timer()
+    with pytest.raises(RuntimeError):
+        t.__exit__(None, None, None)
+
+
+# ---------- rng ----------
+
+
+def test_new_rng_deterministic():
+    assert new_rng(5).integers(0, 100) == new_rng(5).integers(0, 100)
+
+
+def test_spawn_rngs_independent():
+    a, b = spawn_rngs(1, 2)
+    assert a.integers(0, 2**30) != b.integers(0, 2**30)
+    with pytest.raises(ValueError):
+        spawn_rngs(1, 0)
+
+
+def test_spawn_rngs_reproducible():
+    a1, _ = spawn_rngs(9, 2)
+    a2, _ = spawn_rngs(9, 2)
+    assert a1.integers(0, 2**30) == a2.integers(0, 2**30)
