@@ -1,0 +1,83 @@
+"""Perf-regression gate: kernel path must not be slower than the object path.
+
+Runs the kernel microbench at deliberately small sizes (well under 60 s on
+the slowest CI box) and **fails** — non-zero exit from the CLI, or a raised
+``AssertionError`` from :func:`check` — if the flat kernels lose to the
+legacy per-``EncryptedNumber`` path on any gated primitive.  The tier-1
+smoke test (``tests/test_bench_smoke.py``) calls :func:`check`, so a perf
+regression in the kernels shows up as a plain test failure in
+``pytest -x -q``.
+
+The gate compares medians-of-best over a couple of repeats and only asserts
+``speedup >= MIN_SPEEDUP`` on primitives where the kernels hold a structural
+advantage (deduplicated exponentiations, no object churn), so timing noise
+on shared CI hardware does not flap the build.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_bench.py
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+import bench_kernels  # noqa: E402  (path bootstrap above)
+
+# The kernels' structural edge on these primitives is several-fold; 1.0
+# would already catch a true regression, a small margin keeps noise out.
+MIN_SPEEDUP = 1.1
+KEY_BITS = 128  # short keys keep the quick gate far under the 60 s budget
+
+
+def check(results: dict | None = None) -> dict:
+    """Assert the kernel path beats legacy on every gated primitive.
+
+    Returns the benchmark results for reporting; raises AssertionError
+    with the offending numbers otherwise.
+    """
+    if results is None:
+        results = bench_kernels.run(key_bits=KEY_BITS, quick=True, repeat=2)
+    failures = []
+    for entry in results["matmul_plain_cipher"]:
+        if entry["speedup_kernel"] < MIN_SPEEDUP:
+            failures.append(
+                f"matmul {entry['s']}x{entry['m']}x{entry['k']} ({entry['kind']}): "
+                f"kernel {entry['kernel_s']:.4f}s vs legacy {entry['legacy_s']:.4f}s "
+                f"({entry['speedup_kernel']:.2f}x < {MIN_SPEEDUP}x)"
+            )
+    sp = results["sparse_matmul"]
+    if sp["fwd_speedup"] < MIN_SPEEDUP:
+        failures.append(f"sparse forward {sp['fwd_speedup']:.2f}x < {MIN_SPEEDUP}x")
+    if sp["bwd_speedup"] < MIN_SPEEDUP:
+        failures.append(f"sparse backward {sp['bwd_speedup']:.2f}x < {MIN_SPEEDUP}x")
+    if results["scatter_add"]["speedup_kernel"] < MIN_SPEEDUP:
+        failures.append(
+            f"scatter-add {results['scatter_add']['speedup_kernel']:.2f}x "
+            f"< {MIN_SPEEDUP}x"
+        )
+    if failures:
+        raise AssertionError(
+            "kernel path regressed below the legacy object path:\n  "
+            + "\n  ".join(failures)
+        )
+    return results
+
+
+def main() -> int:
+    try:
+        results = check()
+    except AssertionError as exc:
+        print(f"FAIL: {exc}", file=sys.stderr)
+        return 1
+    print(json.dumps(results, indent=2))
+    print("OK: kernel path beats the legacy object path on all gated primitives")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

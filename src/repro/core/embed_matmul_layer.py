@@ -28,7 +28,12 @@ import numpy as np
 
 from repro.comm.message import MessageKind
 from repro.comm.party import Party, VFLContext
-from repro.crypto.crypto_tensor import CryptoTensor
+from repro.crypto.crypto_tensor import (
+    CryptoTensor,
+    matmul_cipher_plain,
+    matmul_plain_cipher,
+)
+from repro.crypto.parallel import ParallelContext
 from repro.crypto.secret_sharing import he2ss_receive, he2ss_split
 from repro.core.federated import FederatedParameter, SourceLayer
 
@@ -84,11 +89,15 @@ class EmbedMatMulSource(SourceLayer):
         out_dim: int,
         init_scale: float = 0.05,
         name: str = "embed",
+        parallel: ParallelContext | None = None,
     ):
         if emb_dim <= 0 or out_dim <= 0 or not vocab_a or not vocab_b:
             raise ValueError("invalid Embed-MatMul dimensions")
         self.ctx = ctx
         self.name = name
+        # Multicore execution engine for this layer's kernels; None falls
+        # back to the process default (see repro.crypto.parallel).
+        self.parallel = parallel
         self.emb_dim, self.out_dim = emb_dim, out_dim
         self.vocab_a, self.vocab_b = list(vocab_a), list(vocab_b)
         self._step = 0
@@ -132,7 +141,9 @@ class EmbedMatMulSource(SourceLayer):
                 sender.name,
                 receiver.name,
                 f"{self.name}.init.{key}",
-                CryptoTensor.encrypt(sender.public_key, arr, obfuscate=True),
+                CryptoTensor.encrypt(
+                    sender.public_key, arr, obfuscate=True, parallel=self.parallel
+                ),
                 MessageKind.CIPHERTEXT,
             )
 
@@ -191,7 +202,8 @@ class EmbedMatMulSource(SourceLayer):
             flat = self._flat_indices(state, x_cat)
             lk_enc = state.enc_t_own.take_rows(flat).reshape(batch, -1)
             eps = he2ss_split(
-                lk_enc, me, peer.name, ch, f"{tag}.fwd.lkT_{who}", cfg.mask_scale
+                lk_enc, me, peer.name, ch, f"{tag}.fwd.lkT_{who}", cfg.mask_scale,
+                parallel=self.parallel,
             )
             lk_t_share = he2ss_receive(peer, ch, f"{tag}.fwd.lkT_{who}")
             psi = eps + state.s[flat].reshape(batch, -1)
@@ -209,9 +221,10 @@ class EmbedMatMulSource(SourceLayer):
         for who in ("A", "B"):
             state, me, peer = self._party_pair(who)
             psi = shares[who][0]
-            ct = psi @ state.enc_v_own
+            ct = matmul_plain_cipher(psi, state.enc_v_own, parallel=self.parallel)
             eps1 = he2ss_split(
-                ct, me, peer.name, ch, f"{tag}.fwd.psiV_{who}", cfg.mask_scale
+                ct, me, peer.name, ch, f"{tag}.fwd.psiV_{who}", cfg.mask_scale,
+                parallel=self.parallel,
             )
             peer_share = he2ss_receive(peer, ch, f"{tag}.fwd.psiV_{who}")
             contributions[who].append(psi @ state.u + eps1)
@@ -223,9 +236,13 @@ class EmbedMatMulSource(SourceLayer):
             state, me, peer = self._party_pair(who)
             peer_state = self._b if who == "A" else self._a
             e_share = shares[who][1]  # at peer
-            ct = e_share @ peer_state.enc_u_peer  # [[ (E-psi) U_who ]]_who
+            # [[ (E-psi) U_who ]]_who
+            ct = matmul_plain_cipher(
+                e_share, peer_state.enc_u_peer, parallel=self.parallel
+            )
             eps2 = he2ss_split(
-                ct, peer, me.name, ch, f"{tag}.fwd.eU_{who}", cfg.mask_scale
+                ct, peer, me.name, ch, f"{tag}.fwd.eU_{who}", cfg.mask_scale,
+                parallel=self.parallel,
             )
             my_share = he2ss_receive(me, ch, f"{tag}.fwd.eU_{who}")
             contributions[peer.name].append(e_share @ peer_state.v_peer + eps2)
@@ -249,9 +266,12 @@ class EmbedMatMulSource(SourceLayer):
         grad_z = np.asarray(grad_z, dtype=np.float64).reshape(-1, self.out_dim)
 
         # Line 12: B encrypts grad_Z and grad_Z V_A^T (it holds V_A).
-        enc_gz = CryptoTensor.encrypt(b.public_key, grad_z, obfuscate=True)
+        enc_gz = CryptoTensor.encrypt(
+            b.public_key, grad_z, obfuscate=True, parallel=self.parallel
+        )
         enc_gzva = CryptoTensor.encrypt(
-            b.public_key, grad_z @ self._b.v_peer.T, obfuscate=True
+            b.public_key, grad_z @ self._b.v_peer.T, obfuscate=True,
+            parallel=self.parallel,
         )
         ch.send(b.name, a.name, f"{tag}.bwd.gZ", enc_gz, MessageKind.CIPHERTEXT)
         ch.send(b.name, a.name, f"{tag}.bwd.gZVA", enc_gzva, MessageKind.CIPHERTEXT)
@@ -259,21 +279,34 @@ class EmbedMatMulSource(SourceLayer):
         enc_gzva_at_a = ch.recv(a.name, f"{tag}.bwd.gZVA")
 
         # Line 13-14: <phi, grad_W_A - phi>.
-        ct = self._a.psi.T @ enc_gz_at_a
-        phi = he2ss_split(ct, a, "B", ch, f"{tag}.bwd.psiTgZ", cfg.grad_mask_scale)
+        ct = matmul_plain_cipher(self._a.psi.T, enc_gz_at_a, parallel=self.parallel)
+        phi = he2ss_split(
+            ct, a, "B", ch, f"{tag}.bwd.psiTgZ", cfg.grad_mask_scale,
+            parallel=self.parallel,
+        )
         psi_t_gz_share = he2ss_receive(b, ch, f"{tag}.bwd.psiTgZ")
         gw_a_minus_phi = self._b.e_minus_psi_peer.T @ grad_z + psi_t_gz_share
 
         # Line 15-16: <xi, grad_W_B - xi>.
-        ct = self._a.e_minus_psi_peer.T @ enc_gz_at_a
-        xi = he2ss_split(ct, a, "B", ch, f"{tag}.bwd.eTgZ", cfg.grad_mask_scale)
+        ct = matmul_plain_cipher(
+            self._a.e_minus_psi_peer.T, enc_gz_at_a, parallel=self.parallel
+        )
+        xi = he2ss_split(
+            ct, a, "B", ch, f"{tag}.bwd.eTgZ", cfg.grad_mask_scale,
+            parallel=self.parallel,
+        )
         e_t_gz_share = he2ss_receive(b, ch, f"{tag}.bwd.eTgZ")
         gw_b_minus_xi = self._b.psi.T @ grad_z + e_t_gz_share
 
         # Line 21 at A: [[grad_E_A]]_B = [[gZ]] U_A^T + [[gZ V_A^T]].
-        enc_ge_a = (enc_gz_at_a @ self._a.u.T) + enc_gzva_at_a
+        enc_ge_a = (
+            matmul_cipher_plain(enc_gz_at_a, self._a.u.T, parallel=self.parallel)
+            + enc_gzva_at_a
+        )
         # Line 21 at B: [[grad_E_B]]_A = gZ U_B^T + gZ [[V_B^T]]_A.
-        enc_ge_b = (grad_z @ self._b.enc_v_own.T) + (grad_z @ self._b.u.T)
+        enc_ge_b = matmul_plain_cipher(
+            grad_z, self._b.enc_v_own.T, parallel=self.parallel
+        ) + (grad_z @ self._b.u.T)
 
         # Lines 22-23: encrypted lkup_bw, then <rho, grad_Q - rho>.
         use_delta = cfg.share_refresh == "delta"
@@ -297,7 +330,8 @@ class EmbedMatMulSource(SourceLayer):
                 touched[who] = None
                 enc_gq = rows.scatter_add_rows(state.flat_idx, num_rows=total)
             rho[who] = he2ss_split(
-                enc_gq, me, peer.name, ch, f"{tag}.bwd.gQ_{who}", cfg.grad_mask_scale
+                enc_gq, me, peer.name, ch, f"{tag}.bwd.gQ_{who}", cfg.grad_mask_scale,
+                parallel=self.parallel,
             )
             if use_delta:
                 touched[who + "_peer"] = ch.recv(peer.name, f"{tag}.bwd.touched_{who}")
@@ -388,7 +422,9 @@ class EmbedMatMulSource(SourceLayer):
         attr: str,
         target_state: _EmbedState,
     ) -> None:
-        fresh = CryptoTensor.encrypt(sender.public_key, plain, obfuscate=True)
+        fresh = CryptoTensor.encrypt(
+            sender.public_key, plain, obfuscate=True, parallel=self.parallel
+        )
         self.ctx.channel.send(
             sender.name, receiver.name, tag, fresh, MessageKind.CIPHERTEXT
         )
@@ -405,7 +441,9 @@ class EmbedMatMulSource(SourceLayer):
         attr: str,
     ) -> None:
         """Re-encrypt and replace only the given rows of an encrypted copy."""
-        payload = CryptoTensor.encrypt(sender.public_key, plain[rows], obfuscate=True)
+        payload = CryptoTensor.encrypt(
+            sender.public_key, plain[rows], obfuscate=True, parallel=self.parallel
+        )
         self.ctx.channel.send(
             sender.name, receiver.name, tag, payload, MessageKind.CIPHERTEXT
         )

@@ -31,7 +31,13 @@ import numpy as np
 
 from repro.comm.message import MessageKind
 from repro.comm.party import VFLContext
-from repro.crypto.crypto_tensor import CryptoTensor, sparse_t_matmul_cipher
+from repro.crypto.crypto_tensor import (
+    CryptoTensor,
+    matmul_plain_cipher,
+    sparse_matmul_cipher,
+    sparse_t_matmul_cipher,
+)
+from repro.crypto.parallel import ParallelContext
 from repro.crypto.secret_sharing import he2ss_receive, he2ss_split
 from repro.core.federated import FederatedParameter, SourceLayer
 from repro.tensor.sparse import CSRMatrix
@@ -53,15 +59,29 @@ def t_matmul_any(x: np.ndarray | CSRMatrix, g: np.ndarray) -> np.ndarray:
     return np.asarray(x, dtype=np.float64).T @ g
 
 
+def _matmul_cipher(
+    x: np.ndarray | CSRMatrix,
+    ct: CryptoTensor,
+    parallel: ParallelContext | None = None,
+) -> CryptoTensor:
+    """``x @ [[v]]`` for dense or CSR ``x`` (homomorphic)."""
+    if isinstance(x, CSRMatrix):
+        return sparse_matmul_cipher(x, ct, parallel=parallel)
+    return matmul_plain_cipher(np.asarray(x, dtype=np.float64), ct, parallel=parallel)
+
+
 def _t_matmul_cipher(
-    x: np.ndarray | CSRMatrix, ct: CryptoTensor, columns: np.ndarray | None = None
+    x: np.ndarray | CSRMatrix,
+    ct: CryptoTensor,
+    columns: np.ndarray | None = None,
+    parallel: ParallelContext | None = None,
 ) -> CryptoTensor:
     """``x.T @ [[g]]`` for dense or CSR ``x`` (homomorphic)."""
     if isinstance(x, CSRMatrix):
-        return sparse_t_matmul_cipher(x, ct, columns=columns)
+        return sparse_t_matmul_cipher(x, ct, columns=columns, parallel=parallel)
     if columns is not None:
         x = np.asarray(x)[:, columns]
-    return np.asarray(x, dtype=np.float64).T @ ct
+    return matmul_plain_cipher(np.asarray(x, dtype=np.float64).T, ct, parallel=parallel)
 
 
 @dataclass
@@ -92,11 +112,15 @@ class MatMulSource(SourceLayer):
         out_dim: int,
         init_scale: float = 0.05,
         name: str = "matmul",
+        parallel: ParallelContext | None = None,
     ):
         if min(in_a, in_b, out_dim) <= 0:
             raise ValueError("dimensions must be positive")
         self.ctx = ctx
         self.name = name
+        # Multicore execution engine for this layer's kernels; None falls
+        # back to the process default (see repro.crypto.parallel).
+        self.parallel = parallel
         self.in_a, self.in_b, self.out_dim = in_a, in_b, out_dim
         self._step = 0
         cfg = ctx.config
@@ -110,12 +134,12 @@ class MatMulSource(SourceLayer):
         v_a = b.rng.normal(0.0, piece_std, size=(in_a, out_dim))
         ch.send(
             a.name, b.name, f"{name}.init.encV_B",
-            CryptoTensor.encrypt(a.public_key, v_b, obfuscate=True),
+            CryptoTensor.encrypt(a.public_key, v_b, obfuscate=True, parallel=parallel),
             MessageKind.CIPHERTEXT,
         )
         ch.send(
             b.name, a.name, f"{name}.init.encV_A",
-            CryptoTensor.encrypt(b.public_key, v_a, obfuscate=True),
+            CryptoTensor.encrypt(b.public_key, v_a, obfuscate=True, parallel=parallel),
             MessageKind.CIPHERTEXT,
         )
         enc_v_a = ch.recv(a.name, f"{name}.init.encV_A")
@@ -141,11 +165,15 @@ class MatMulSource(SourceLayer):
             self._a.x_cache = x_a
             self._b.x_cache = x_b
         # Line 5-6 at A: [[X_A V_A]] -> <eps_A, X_A V_A - eps_A>.
-        ct_a = x_a @ self._a.enc_v_own
-        eps_a = he2ss_split(ct_a, a, "B", ch, f"{tag}.fwd.XV_A", cfg.mask_scale)
+        ct_a = _matmul_cipher(x_a, self._a.enc_v_own, parallel=self.parallel)
+        eps_a = he2ss_split(
+            ct_a, a, "B", ch, f"{tag}.fwd.XV_A", cfg.mask_scale, parallel=self.parallel
+        )
         # Symmetric at B.
-        ct_b = x_b @ self._b.enc_v_own
-        eps_b = he2ss_split(ct_b, b, "A", ch, f"{tag}.fwd.XV_B", cfg.mask_scale)
+        ct_b = _matmul_cipher(x_b, self._b.enc_v_own, parallel=self.parallel)
+        eps_b = he2ss_split(
+            ct_b, b, "A", ch, f"{tag}.fwd.XV_B", cfg.mask_scale, parallel=self.parallel
+        )
         xv_b_share = he2ss_receive(a, ch, f"{tag}.fwd.XV_B")  # X_B V_B - eps_B
         xv_a_share = he2ss_receive(b, ch, f"{tag}.fwd.XV_A")  # X_A V_A - eps_A
         # Line 7: per-party output shares.
@@ -171,10 +199,14 @@ class MatMulSource(SourceLayer):
         if train:
             self._a.x_cache = x_a
             self._b.x_cache = x_b
-        ct_a = x_a @ self._a.enc_v_own
-        eps_a = he2ss_split(ct_a, a, "B", ch, f"{tag}.fwd.XV_A", cfg.mask_scale)
-        ct_b = x_b @ self._b.enc_v_own
-        eps_b = he2ss_split(ct_b, b, "A", ch, f"{tag}.fwd.XV_B", cfg.mask_scale)
+        ct_a = _matmul_cipher(x_a, self._a.enc_v_own, parallel=self.parallel)
+        eps_a = he2ss_split(
+            ct_a, a, "B", ch, f"{tag}.fwd.XV_A", cfg.mask_scale, parallel=self.parallel
+        )
+        ct_b = _matmul_cipher(x_b, self._b.enc_v_own, parallel=self.parallel)
+        eps_b = he2ss_split(
+            ct_b, b, "A", ch, f"{tag}.fwd.XV_B", cfg.mask_scale, parallel=self.parallel
+        )
         xv_b_share = he2ss_receive(a, ch, f"{tag}.fwd.XV_B")
         xv_a_share = he2ss_receive(b, ch, f"{tag}.fwd.XV_A")
         z_a = matmul_any(x_a, self._a.u) + eps_a + xv_b_share
@@ -194,7 +226,9 @@ class MatMulSource(SourceLayer):
         a, b, ch = ctx.A, ctx.B, ctx.channel
         grad_z = np.asarray(grad_z, dtype=np.float64).reshape(-1, self.out_dim)
         # Line 9: B encrypts the derivatives (label protection, Req 3).
-        enc_gz = CryptoTensor.encrypt(b.public_key, grad_z, obfuscate=True)
+        enc_gz = CryptoTensor.encrypt(
+            b.public_key, grad_z, obfuscate=True, parallel=self.parallel
+        )
         ch.send(b.name, a.name, f"{tag}.bwd.gZ", enc_gz, MessageKind.CIPHERTEXT)
         enc_gz_at_a = ch.recv(a.name, f"{tag}.bwd.gZ")
         x_a = self._a.x_cache
@@ -206,12 +240,17 @@ class MatMulSource(SourceLayer):
             ch.send(
                 a.name, b.name, f"{tag}.bwd.support", support, MessageKind.PUBLIC
             )
-            enc_gw = _t_matmul_cipher(x_a, enc_gz_at_a, columns=support)
+            enc_gw = _t_matmul_cipher(
+                x_a, enc_gz_at_a, columns=support, parallel=self.parallel
+            )
         else:
             support = None
-            enc_gw = _t_matmul_cipher(x_a, enc_gz_at_a)
+            enc_gw = _t_matmul_cipher(x_a, enc_gz_at_a, parallel=self.parallel)
         # Line 10: <phi, grad_W_A - phi>.
-        phi = he2ss_split(enc_gw, a, "B", ch, f"{tag}.bwd.gW_A", cfg.grad_mask_scale)
+        phi = he2ss_split(
+            enc_gw, a, "B", ch, f"{tag}.bwd.gW_A", cfg.grad_mask_scale,
+            parallel=self.parallel,
+        )
         support_at_b = ch.recv(b.name, f"{tag}.bwd.support") if use_delta else None
         gw_minus_phi = he2ss_receive(b, ch, f"{tag}.bwd.gW_A")
         self._a.pending = {"phi": phi, "support": support}
@@ -250,14 +289,18 @@ class MatMulSource(SourceLayer):
         )
         # Refresh A's cached [[V_A]]_B.
         if support is None:
-            fresh = CryptoTensor.encrypt(b.public_key, self._b.v_peer, obfuscate=True)
+            fresh = CryptoTensor.encrypt(
+                b.public_key, self._b.v_peer, obfuscate=True, parallel=self.parallel
+            )
             ch.send(b.name, a.name, f"{tag}.upd.encV_A", fresh, MessageKind.CIPHERTEXT)
             self._a.enc_v_own = ch.recv(a.name, f"{tag}.upd.encV_A")
         else:
             delta = self._b.v_peer[self._b.pending["support"]] - v_a_before[
                 self._b.pending["support"]
             ]
-            enc_delta = CryptoTensor.encrypt(b.public_key, delta, obfuscate=True)
+            enc_delta = CryptoTensor.encrypt(
+                b.public_key, delta, obfuscate=True, parallel=self.parallel
+            )
             ch.send(
                 b.name, a.name, f"{tag}.upd.dV_A", enc_delta, MessageKind.CIPHERTEXT
             )

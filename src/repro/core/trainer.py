@@ -16,11 +16,13 @@ plus the metric bookkeeping the Figure 12 / Figure 9 benchmarks need
 
 from __future__ import annotations
 
+import contextlib
 from dataclasses import dataclass, field
 from typing import Callable
 
 import numpy as np
 
+from repro.crypto.parallel import ParallelContext, use_parallel
 from repro.core.federated import FederatedModule
 from repro.core.optimizer import FederatedSGD
 from repro.data.loader import Batch, BatchLoader
@@ -34,13 +36,24 @@ __all__ = ["TrainConfig", "History", "train_federated", "evaluate_federated", "p
 
 @dataclass
 class TrainConfig:
-    """Hyper-parameters (paper defaults: lr 0.05, batch 128, momentum 0.9)."""
+    """Hyper-parameters (paper defaults: lr 0.05, batch 128, momentum 0.9).
+
+    ``parallel_workers >= 2`` installs a
+    :class:`~repro.crypto.parallel.ParallelContext` as the process default
+    for the duration of training, so every homomorphic kernel in the source
+    layers shards its exponentiations across that many processes.
+    ``blinding_pool_per_epoch`` pre-computes that many ``r^n`` obfuscation
+    blinders per party key at each epoch boundary (off the hot path), so
+    in-epoch encryptions only pay a mulmod for re-randomisation.
+    """
 
     epochs: int = 10
     batch_size: int = 128
     lr: float = 0.05
     momentum: float = 0.9
     seed: int = 0
+    parallel_workers: int = 0
+    blinding_pool_per_epoch: int = 0
 
 
 @dataclass
@@ -75,23 +88,49 @@ def train_federated(
     rng = np.random.default_rng(config.seed)
     metric_name = "auc" if train_data.n_classes == 2 else "accuracy"
     history = History(metric_name=metric_name)
-    for _ in range(config.epochs):
-        loader = BatchLoader(train_data, config.batch_size, rng=rng)
-        for batch_no, batch in enumerate(loader):
-            if max_batches_per_epoch is not None and batch_no >= max_batches_per_epoch:
-                break
-            output = model.forward(batch, train=True)
-            optimizer.zero_grad()
-            loss = criterion(output, batch.y)
-            loss.backward()
-            model.backward_sources()
-            optimizer.step()
-            history.losses.append(loss.item())
-        if test_data is not None:
-            history.epoch_metrics.append(
-                evaluate_federated(model, test_data, config.batch_size)[metric_name]
-            )
+    if config.parallel_workers >= 2:
+        engine = use_parallel(ParallelContext(workers=config.parallel_workers))
+    else:
+        engine = contextlib.nullcontext(None)
+    with engine as parallel:
+        for _ in range(config.epochs):
+            if config.blinding_pool_per_epoch > 0:
+                _prefill_blinding(model, config.blinding_pool_per_epoch, parallel)
+            loader = BatchLoader(train_data, config.batch_size, rng=rng)
+            for batch_no, batch in enumerate(loader):
+                if (
+                    max_batches_per_epoch is not None
+                    and batch_no >= max_batches_per_epoch
+                ):
+                    break
+                output = model.forward(batch, train=True)
+                optimizer.zero_grad()
+                loss = criterion(output, batch.y)
+                loss.backward()
+                model.backward_sources()
+                optimizer.step()
+                history.losses.append(loss.item())
+            if test_data is not None:
+                history.epoch_metrics.append(
+                    evaluate_federated(model, test_data, config.batch_size)[metric_name]
+                )
     return history
+
+
+def _prefill_blinding(
+    model: FederatedModule, count: int, parallel: ParallelContext | None
+) -> None:
+    """Refill every party key's obfuscation pool at an epoch boundary."""
+    seen: set[int] = set()
+    for layer in model.source_layers():
+        ctx = getattr(layer, "ctx", None)
+        parties = getattr(ctx, "parties", None)
+        if not parties:
+            continue
+        for party in parties.values():
+            if id(party.public_key) not in seen:
+                seen.add(id(party.public_key))
+                party.public_key.prefill_blinding(count, parallel=parallel)
 
 
 def predict(

@@ -15,8 +15,22 @@ from repro.crypto.beaver import (
     encode_ring,
     share_ring,
 )
-from repro.crypto.crypto_tensor import PLAIN_EXPONENT, TENSOR_EXPONENT, CryptoTensor
+from repro.crypto.crypto_tensor import (
+    PLAIN_EXPONENT,
+    TENSOR_EXPONENT,
+    CryptoTensor,
+    matmul_cipher_plain,
+    matmul_plain_cipher,
+    sparse_matmul_cipher,
+    sparse_t_matmul_cipher,
+)
 from repro.crypto.encoding import EncodedNumber
+from repro.crypto.parallel import (
+    ParallelContext,
+    get_default_context,
+    set_default_context,
+    use_parallel,
+)
 from repro.crypto.paillier import (
     DEFAULT_KEY_BITS,
     EncryptedNumber,
@@ -44,6 +58,14 @@ __all__ = [
     "CryptoTensor",
     "TENSOR_EXPONENT",
     "PLAIN_EXPONENT",
+    "matmul_plain_cipher",
+    "matmul_cipher_plain",
+    "sparse_matmul_cipher",
+    "sparse_t_matmul_cipher",
+    "ParallelContext",
+    "get_default_context",
+    "set_default_context",
+    "use_parallel",
     "EncodedNumber",
     "EncryptedNumber",
     "PaillierPublicKey",

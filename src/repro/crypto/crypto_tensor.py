@@ -1,26 +1,36 @@
-"""CryptoTensor: vectorised operations over tensors of Paillier ciphertexts.
+"""CryptoTensor: batched operations over tensors of Paillier ciphertexts.
 
 The paper's implementation section (§7.1) introduces "an abstraction called
 CryptoTensor, which supports fruitful primitives for both dense and sparse
 computation of encrypted tensors such as matrix multiplication and scatter
-addition".  This module is that abstraction.
+addition", backed by a multi-threaded GMP kernel library.  This module is
+that abstraction; since the flat-kernel refactor it is a thin object-array
+facade over :mod:`repro.crypto.kernels`, which does all real work on flat
+``list[int]`` ciphertext batches:
 
-Supported primitives (all additively homomorphic, so one side of every
-product is plaintext):
-
-* elementwise ``+``, ``-``, negation, multiplication by plaintext scalars
-  and arrays;
-* ``plain @ cipher`` and ``cipher @ plain`` matrix products with
-  **zero-skipping** — zero plaintext entries contribute no modular
-  exponentiation, which is the sparsity speed-up BlindFL's Table 5 is
-  about;
-* row lookup (``take_rows``) — the encrypted embedding-table lookup of the
-  Embed-MatMul layer;
-* scatter addition (``scatter_add_rows``) — the encrypted ``lkup_bw``.
+* every primitive — encrypt, CRT decrypt, elementwise ``+``/``-``/``*``,
+  both matmul orientations, sparse ``X.T @ cipher``, ``scatter_add_rows``
+  and re-randomisation — lowers the tensor to raw residues, runs an
+  allocation-free integer loop, and wraps :class:`EncryptedNumber` objects
+  only around the *outputs*;
+* matmuls deduplicate modular exponentiations by distinct plaintext value
+  (the kernel's raw-mul cache), so binary/categorical features cost one
+  ``pow`` per ciphertext element instead of one per nonzero — the sparsity
+  speed-up BlindFL's Table 5 is about, compounded;
+* obfuscation draws ``r^n`` blinders from the public key's precomputed
+  pool (see ``PaillierPublicKey.prefill_blinding``);
+* exponentiation-heavy kernels shard across a
+  :class:`~repro.crypto.parallel.ParallelContext` when one is passed in
+  (or installed as the process default) — the multicore execution engine.
 
 Plaintext operands may be dense numpy arrays or any object exposing
 ``iter_rows() -> (col_indices, values)`` per row (our CSR matrices), so
 sparse datasets never materialise their zeros.
+
+The pre-kernel, per-``EncryptedNumber`` implementations are kept as
+``legacy_*`` functions: they are the reference the equivalence tests pin
+the kernels against and the baseline the benchmark suite measures speedups
+over.  New code should never call them.
 """
 
 from __future__ import annotations
@@ -29,21 +39,53 @@ from typing import Iterable
 
 import numpy as np
 
+from repro.crypto import kernels
 from repro.crypto.encoding import EncodedNumber
+from repro.crypto.kernels import PLAIN_EXPONENT, TENSOR_EXPONENT
 from repro.crypto.paillier import EncryptedNumber, PaillierPrivateKey, PaillierPublicKey
+from repro.crypto.parallel import ParallelContext
 
 __all__ = [
     "CryptoTensor",
     "TENSOR_EXPONENT",
     "PLAIN_EXPONENT",
+    "matmul_plain_cipher",
+    "matmul_cipher_plain",
+    "sparse_matmul_cipher",
     "sparse_t_matmul_cipher",
+    "legacy_encrypt",
+    "legacy_matmul_plain_cipher",
+    "legacy_matmul_cipher_plain",
+    "legacy_matmul_sparse_cipher",
+    "legacy_sparse_t_matmul_cipher",
+    "legacy_scatter_add_rows",
+    "legacy_obfuscate",
 ]
 
-# Uniform fixed-point exponents: encrypted tensors carry ~2**-40 resolution,
-# plaintext multipliers ~2**-32.  Products land at 2**-72, far inside the
-# plaintext bound of even the shortest supported keys.
-TENSOR_EXPONENT = -40
-PLAIN_EXPONENT = -32
+
+def _flat_parts(data: np.ndarray) -> tuple[list[int], list[int]]:
+    """Lower an object array to (ciphertexts, exponents) flat lists."""
+    flat = data.ravel()
+    cts = [enc.ciphertext for enc in flat]
+    exps = [enc.exponent for enc in flat]
+    return cts, exps
+
+
+def _wrap(
+    public_key: PaillierPublicKey,
+    cts: list[int],
+    exponent: int | list[int],
+    shape: tuple[int, ...],
+) -> np.ndarray:
+    """Raise a flat ciphertext batch back into an EncryptedNumber array."""
+    out = np.empty(len(cts), dtype=object)
+    if isinstance(exponent, int):
+        for i, c in enumerate(cts):
+            out[i] = EncryptedNumber(public_key, c, exponent)
+    else:
+        for i, (c, e) in enumerate(zip(cts, exponent)):
+            out[i] = EncryptedNumber(public_key, c, e)
+    return out.reshape(shape)
 
 
 class CryptoTensor:
@@ -70,16 +112,14 @@ class CryptoTensor:
         array: np.ndarray,
         exponent: int = TENSOR_EXPONENT,
         obfuscate: bool = True,
+        parallel: ParallelContext | None = None,
     ) -> "CryptoTensor":
         """Encrypt a float array elementwise at a uniform exponent."""
         array = np.asarray(array, dtype=np.float64)
-        flat = array.ravel()
-        out = np.empty(flat.shape[0], dtype=object)
-        for i, value in enumerate(flat):
-            out[i] = public_key.encrypt(
-                float(value), exponent=exponent, obfuscate=obfuscate
-            )
-        return cls(public_key, out.reshape(array.shape))
+        cts = kernels.encrypt_flat(
+            public_key, array.ravel(), exponent, obfuscate=obfuscate, parallel=parallel
+        )
+        return cls(public_key, _wrap(public_key, cts, exponent, array.shape))
 
     @classmethod
     def zeros(
@@ -89,19 +129,15 @@ class CryptoTensor:
         exponent: int = TENSOR_EXPONENT,
     ) -> "CryptoTensor":
         """Unobfuscated encryptions of zero (cheap accumulator seeds)."""
-        out = np.empty(shape, dtype=object)
-        flat = out.ravel()
-        for i in range(flat.shape[0]):
-            flat[i] = public_key.encrypt_zero(exponent)
-        return cls(public_key, flat.reshape(shape))
+        size = int(np.prod(shape, dtype=np.int64)) if shape else 1
+        return cls(public_key, _wrap(public_key, [1] * size, exponent, shape))
 
     def decrypt(self, private_key: PaillierPrivateKey) -> np.ndarray:
-        """Decrypt elementwise back to float64."""
-        flat = self.data.ravel()
-        out = np.empty(flat.shape[0], dtype=np.float64)
-        for i, enc in enumerate(flat):
-            out[i] = private_key.decrypt(enc)
-        return out.reshape(self.data.shape)
+        """Decrypt elementwise back to float64 (batched CRT kernel)."""
+        if private_key.public_key != self.public_key:
+            raise ValueError("ciphertext was encrypted under a different key")
+        cts, exps = _flat_parts(self.data)
+        return kernels.decrypt_flat(private_key, cts, exps).reshape(self.data.shape)
 
     # -- shape plumbing --------------------------------------------------------
 
@@ -139,9 +175,24 @@ class CryptoTensor:
     # -- elementwise arithmetic -----------------------------------------------
 
     def _binary(self, other: object, op: str) -> "CryptoTensor":
+        pk = self.public_key
+        cts, exps = _flat_parts(self.data)
         if isinstance(other, CryptoTensor):
-            other_arr: np.ndarray = other.data
-        elif isinstance(other, (int, float)):
+            if other.public_key != pk:
+                raise ValueError("cannot add ciphertexts under different keys")
+            if other.data.shape != self.data.shape:
+                raise ValueError(
+                    f"shape mismatch: {self.data.shape} vs {other.data.shape}"
+                )
+            o_cts, o_exps = _flat_parts(other.data)
+            if op == "add":
+                out, oexps = kernels.add_cipher_flat(pk, cts, exps, o_cts, o_exps)
+            elif op == "sub":
+                out, oexps = kernels.sub_cipher_flat(pk, cts, exps, o_cts, o_exps)
+            else:
+                raise TypeError("cannot multiply two ciphertext tensors under Paillier")
+            return CryptoTensor(pk, _wrap(pk, out, oexps, self.data.shape))
+        if isinstance(other, (int, float)):
             other_arr = np.full(self.data.shape, float(other), dtype=np.float64)
         else:
             other_arr = np.asarray(other, dtype=np.float64)
@@ -150,26 +201,16 @@ class CryptoTensor:
             raise ValueError(
                 f"shape mismatch: {self.data.shape} vs {other_arr.shape}"
             )
-        flat_a = self.data.ravel()
-        flat_b = other_arr.ravel()
-        out = np.empty(flat_a.shape[0], dtype=object)
+        values = other_arr.ravel()
         if op == "add":
-            for i in range(out.shape[0]):
-                b = flat_b[i]
-                out[i] = flat_a[i] + (b if isinstance(b, EncryptedNumber) else float(b))
+            out, oexps = kernels.add_plain_flat(pk, cts, exps, values)
         elif op == "sub":
-            for i in range(out.shape[0]):
-                b = flat_b[i]
-                out[i] = flat_a[i] - (b if isinstance(b, EncryptedNumber) else float(b))
+            out, oexps = kernels.add_plain_flat(pk, cts, exps, -values)
         elif op == "mul":
-            for i in range(out.shape[0]):
-                encoded = EncodedNumber.encode(
-                    self.public_key, float(flat_b[i]), exponent=PLAIN_EXPONENT
-                )
-                out[i] = flat_a[i] * encoded
+            out, oexps = kernels.mul_plain_flat(pk, cts, exps, values)
         else:  # pragma: no cover - internal misuse
             raise ValueError(op)
-        return CryptoTensor(self.public_key, out.reshape(self.data.shape))
+        return CryptoTensor(pk, _wrap(pk, out, oexps, self.data.shape))
 
     def __add__(self, other: object) -> "CryptoTensor":
         return self._binary(other, "add")
@@ -196,13 +237,13 @@ class CryptoTensor:
 
     def __matmul__(self, plain: object) -> "CryptoTensor":
         """``cipher @ plain`` — e.g. ``[[grad_Z]] @ U.T`` in Embed-MatMul."""
-        return _matmul_cipher_plain(self, np.asarray(plain, dtype=np.float64))
+        return matmul_cipher_plain(self, np.asarray(plain, dtype=np.float64))
 
     def __rmatmul__(self, plain: object) -> "CryptoTensor":
         """``plain @ cipher`` — e.g. ``X_A @ [[V_A]]`` in MatMul forward."""
         if hasattr(plain, "iter_rows"):
-            return _matmul_sparse_cipher(plain, self)
-        return _matmul_plain_cipher(np.asarray(plain, dtype=np.float64), self)
+            return sparse_matmul_cipher(plain, self)
+        return matmul_plain_cipher(np.asarray(plain, dtype=np.float64), self)
 
     def scatter_add_rows(self, indices: np.ndarray, num_rows: int) -> "CryptoTensor":
         """Encrypted ``lkup_bw``: scatter batch rows into a table.
@@ -220,20 +261,19 @@ class CryptoTensor:
         if indices.size and (indices.min() < 0 or indices.max() >= num_rows):
             raise IndexError("scatter index out of range")
         dim = self.data.shape[1]
-        exponent = _common_exponent(self.data)
-        out = CryptoTensor.zeros(self.public_key, (num_rows, dim), exponent).data
-        for batch_row, table_row in enumerate(indices):
-            for j in range(dim):
-                out[table_row, j] = out[table_row, j] + self.data[batch_row, j]
-        return CryptoTensor(self.public_key, out)
+        pk = self.public_key
+        cts, exps = _flat_parts(self.data)
+        acts, exp = kernels.align_flat(pk, cts, exps)
+        out = kernels.scatter_add_flat(pk, acts, indices.tolist(), num_rows, dim)
+        return CryptoTensor(pk, _wrap(pk, out, exp, (num_rows, dim)))
 
-    def obfuscate(self) -> "CryptoTensor":
+    def obfuscate(self, parallel: ParallelContext | None = None) -> "CryptoTensor":
         """Re-randomise every ciphertext (used before leaving the party)."""
-        flat = self.data.ravel()
-        out = np.empty(flat.shape[0], dtype=object)
-        for i, enc in enumerate(flat):
-            out[i] = enc.obfuscate()
-        return CryptoTensor(self.public_key, out.reshape(self.data.shape))
+        cts, exps = _flat_parts(self.data)
+        out = kernels.obfuscate_flat(self.public_key, cts, parallel=parallel)
+        return CryptoTensor(
+            self.public_key, _wrap(self.public_key, out, exps, self.data.shape)
+        )
 
     @staticmethod
     def vstack(tensors: Iterable["CryptoTensor"]) -> "CryptoTensor":
@@ -251,6 +291,105 @@ class CryptoTensor:
         return f"CryptoTensor(shape={self.data.shape})"
 
 
+# ---------------------------------------------------------------------------
+# Kernel-backed matrix products.  The explicit functions exist so protocol
+# code can thread a ParallelContext; the ``@`` operators route here with the
+# process default.
+
+
+def _aligned_flat(ct: CryptoTensor, cdata: np.ndarray) -> tuple[list[int], int]:
+    cts, exps = _flat_parts(cdata)
+    return kernels.align_flat(ct.public_key, cts, exps)
+
+
+def matmul_plain_cipher(
+    plain: np.ndarray, ct: CryptoTensor, parallel: ParallelContext | None = None
+) -> CryptoTensor:
+    """Dense ``plain (s x m) @ cipher (m x k)`` with zero-skipping."""
+    plain = np.atleast_2d(np.asarray(plain, dtype=np.float64))
+    cdata = ct.data if ct.data.ndim == 2 else ct.data.reshape(-1, 1)
+    s, m = plain.shape
+    m2, k = cdata.shape
+    if m != m2:
+        raise ValueError(f"matmul shape mismatch: ({s},{m}) @ ({m2},{k})")
+    pk = ct.public_key
+    cts, exp = _aligned_flat(ct, cdata)
+    out, oexp = kernels.matmul_plain_cipher_flat(pk, plain, cts, k, exp, parallel)
+    return CryptoTensor(pk, _wrap(pk, out, oexp, (s, k)))
+
+
+def matmul_cipher_plain(
+    ct: CryptoTensor, plain: np.ndarray, parallel: ParallelContext | None = None
+) -> CryptoTensor:
+    """Dense ``cipher (s x m) @ plain (m x k)`` with zero-skipping."""
+    cdata = ct.data if ct.data.ndim == 2 else ct.data.reshape(1, -1)
+    plain = np.atleast_2d(np.asarray(plain, dtype=np.float64))
+    s, m = cdata.shape
+    m2, k = plain.shape
+    if m != m2:
+        raise ValueError(f"matmul shape mismatch: ({s},{m}) @ ({m2},{k})")
+    pk = ct.public_key
+    cts, exp = _aligned_flat(ct, cdata)
+    out, oexp = kernels.matmul_cipher_plain_flat(pk, cts, plain, s, exp, parallel)
+    return CryptoTensor(pk, _wrap(pk, out, oexp, (s, k)))
+
+
+def sparse_matmul_cipher(
+    sparse: object, ct: CryptoTensor, parallel: ParallelContext | None = None
+) -> CryptoTensor:
+    """CSR ``plain @ cipher``: cost proportional to nnz, never touches zeros."""
+    cdata = ct.data if ct.data.ndim == 2 else ct.data.reshape(-1, 1)
+    m2, k = cdata.shape
+    pk = ct.public_key
+    rows = list(sparse.iter_rows())
+    cts, exp = _aligned_flat(ct, cdata)
+    out, oexp = kernels.sparse_matmul_cipher_flat(pk, rows, m2, cts, k, exp, parallel)
+    return CryptoTensor(pk, _wrap(pk, out, oexp, (len(rows), k)))
+
+
+def sparse_t_matmul_cipher(
+    sparse: object,
+    ct: CryptoTensor,
+    columns: np.ndarray | None = None,
+    parallel: ParallelContext | None = None,
+) -> CryptoTensor:
+    """``sparse.T @ cipher`` in O(nnz * k) — the X^T [[grad_Z]] of backprop.
+
+    ``sparse`` is (batch, m) CSR, ``ct`` is (batch, k) ciphertext; the result
+    is (m, k).  With ``columns`` given (sorted unique column ids), only those
+    rows of the result are produced, shaped (len(columns), k) — the
+    sparse-aware "touched coordinates" path of the delta refresh mode.
+    """
+    cdata = ct.data if ct.data.ndim == 2 else ct.data.reshape(-1, 1)
+    batch, k = cdata.shape
+    n_rows, m = sparse.shape
+    if n_rows != batch:
+        raise ValueError(f"t_matmul shape mismatch: {sparse.shape}.T @ ({batch},{k})")
+    pk = ct.public_key
+    if columns is None:
+        out_rows = m
+        col_to_out = None
+    else:
+        columns = np.asarray(columns, dtype=np.int64)
+        out_rows = columns.shape[0]
+        col_to_out = {int(c): i for i, c in enumerate(columns)}
+    rows = list(sparse.iter_rows())
+    cts, exp = _aligned_flat(ct, cdata)
+    out, oexp = kernels.sparse_t_matmul_flat(
+        pk, rows, cts, k, exp, out_rows, col_to_out, parallel
+    )
+    return CryptoTensor(pk, _wrap(pk, out, oexp, (out_rows, k)))
+
+
+# ---------------------------------------------------------------------------
+# Legacy object-path reference implementations.
+#
+# These are the pre-kernel per-EncryptedNumber loops, kept verbatim for two
+# reasons: the equivalence tests assert the kernels decrypt to the same
+# arrays, and the benchmark suite measures kernel speedups against them.
+# They are not used by any protocol code.
+
+
 def _common_exponent(data: np.ndarray) -> int:
     return min(enc.exponent for enc in data.ravel())
 
@@ -264,8 +403,23 @@ def _encode_matrix(pk: PaillierPublicKey, arr: np.ndarray) -> np.ndarray:
     return out.reshape(arr.shape)
 
 
-def _matmul_plain_cipher(plain: np.ndarray, ct: CryptoTensor) -> CryptoTensor:
-    """Dense ``plain (s x m) @ cipher (m x k)`` with zero-skipping."""
+def legacy_encrypt(
+    public_key: PaillierPublicKey,
+    array: np.ndarray,
+    exponent: int = TENSOR_EXPONENT,
+    obfuscate: bool = True,
+) -> CryptoTensor:
+    """Per-element object-path encryption (reference/benchmark baseline)."""
+    array = np.asarray(array, dtype=np.float64)
+    flat = array.ravel()
+    out = np.empty(flat.shape[0], dtype=object)
+    for i, value in enumerate(flat):
+        out[i] = public_key.encrypt(float(value), exponent=exponent, obfuscate=obfuscate)
+    return CryptoTensor(public_key, out.reshape(array.shape))
+
+
+def legacy_matmul_plain_cipher(plain: np.ndarray, ct: CryptoTensor) -> CryptoTensor:
+    """Dense ``plain (s x m) @ cipher (m x k)`` via EncryptedNumber ops."""
     plain = np.atleast_2d(plain)
     cdata = ct.data if ct.data.ndim == 2 else ct.data.reshape(-1, 1)
     s, m = plain.shape
@@ -287,8 +441,8 @@ def _matmul_plain_cipher(plain: np.ndarray, ct: CryptoTensor) -> CryptoTensor:
     return CryptoTensor(pk, out)
 
 
-def _matmul_sparse_cipher(sparse: object, ct: CryptoTensor) -> CryptoTensor:
-    """CSR ``plain @ cipher``: cost proportional to nnz, never touches zeros."""
+def legacy_matmul_sparse_cipher(sparse: object, ct: CryptoTensor) -> CryptoTensor:
+    """CSR ``plain @ cipher`` via EncryptedNumber ops."""
     cdata = ct.data if ct.data.ndim == 2 else ct.data.reshape(-1, 1)
     m2, k = cdata.shape
     pk = ct.public_key
@@ -309,16 +463,10 @@ def _matmul_sparse_cipher(sparse: object, ct: CryptoTensor) -> CryptoTensor:
     return CryptoTensor(pk, out)
 
 
-def sparse_t_matmul_cipher(
+def legacy_sparse_t_matmul_cipher(
     sparse: object, ct: CryptoTensor, columns: np.ndarray | None = None
 ) -> CryptoTensor:
-    """``sparse.T @ cipher`` in O(nnz * k) — the X^T [[grad_Z]] of backprop.
-
-    ``sparse`` is (batch, m) CSR, ``ct`` is (batch, k) ciphertext; the result
-    is (m, k).  With ``columns`` given (sorted unique column ids), only those
-    rows of the result are produced, shaped (len(columns), k) — the
-    sparse-aware "touched coordinates" path of the delta refresh mode.
-    """
+    """``sparse.T @ cipher`` via EncryptedNumber ops."""
     cdata = ct.data if ct.data.ndim == 2 else ct.data.reshape(-1, 1)
     batch, k = cdata.shape
     n_rows, m = sparse.shape
@@ -351,8 +499,8 @@ def sparse_t_matmul_cipher(
     return CryptoTensor(pk, out)
 
 
-def _matmul_cipher_plain(ct: CryptoTensor, plain: np.ndarray) -> CryptoTensor:
-    """Dense ``cipher (s x m) @ plain (m x k)`` with zero-skipping."""
+def legacy_matmul_cipher_plain(ct: CryptoTensor, plain: np.ndarray) -> CryptoTensor:
+    """Dense ``cipher (s x m) @ plain (m x k)`` via EncryptedNumber ops."""
     cdata = ct.data if ct.data.ndim == 2 else ct.data.reshape(1, -1)
     plain = np.atleast_2d(plain)
     s, m = cdata.shape
@@ -371,3 +519,36 @@ def _matmul_cipher_plain(ct: CryptoTensor, plain: np.ndarray) -> CryptoTensor:
                 acc = acc + (cdata[i, t] * encoded[t, j])
             out[i, j] = acc
     return CryptoTensor(pk, out)
+
+
+def legacy_scatter_add_rows(
+    ct: CryptoTensor, indices: np.ndarray, num_rows: int
+) -> CryptoTensor:
+    """Encrypted ``lkup_bw`` via EncryptedNumber ops."""
+    if ct.data.ndim != 2:
+        raise ValueError("scatter_add_rows needs a 2-D tensor")
+    indices = np.asarray(indices, dtype=int)
+    if indices.shape[0] != ct.data.shape[0]:
+        raise ValueError("one index per batch row required")
+    if indices.size and (indices.min() < 0 or indices.max() >= num_rows):
+        raise IndexError("scatter index out of range")
+    dim = ct.data.shape[1]
+    exponent = _common_exponent(ct.data)
+    pk = ct.public_key
+    out = np.empty((num_rows, dim), dtype=object)
+    for i in range(num_rows):
+        for j in range(dim):
+            out[i, j] = pk.encrypt_zero(exponent)
+    for batch_row, table_row in enumerate(indices):
+        for j in range(dim):
+            out[table_row, j] = out[table_row, j] + ct.data[batch_row, j]
+    return CryptoTensor(pk, out)
+
+
+def legacy_obfuscate(ct: CryptoTensor) -> CryptoTensor:
+    """Per-element re-randomisation via EncryptedNumber ops."""
+    flat = ct.data.ravel()
+    out = np.empty(flat.shape[0], dtype=object)
+    for i, enc in enumerate(flat):
+        out[i] = enc.obfuscate()
+    return CryptoTensor(ct.public_key, out.reshape(ct.data.shape))

@@ -1,0 +1,611 @@
+"""Flat integer kernels for batched Paillier tensor arithmetic.
+
+The paper's CryptoTensor library (§7.1) keeps ciphertext batches as
+contiguous GMP big-int arrays and runs every primitive as a tight loop over
+raw residues.  This module is the CPython analogue: a uniform-exponent
+ciphertext batch travels as a flat ``list[int]`` (row-major, plus shape and
+exponent metadata kept by the caller) and every primitive — encrypt, CRT
+decrypt, elementwise add/sub/mul, both matmul orientations, sparse
+``X.T @ cipher``, scatter-add and obfuscation — loops over those integers
+directly.  No ``EncryptedNumber`` or ``EncodedNumber`` is allocated in any
+inner loop; object wrappers exist only at the :class:`CryptoTensor`
+boundary.
+
+Three algorithmic optimisations are fused into the kernels:
+
+1. **Encoding/raw-mul caching** — matmuls group the contraction by distinct
+   plaintext value, so a value repeated along a row/column costs *one*
+   modular exponentiation per ciphertext element instead of one per
+   occurrence.  On the binary/categorical features of BlindFL's sparse
+   datasets (values in {0, 1}) this collapses ``nnz`` exponentiations per
+   output into one.
+2. **Blinding pool** — obfuscation draws ``r^n mod n^2`` factors from the
+   public key's precomputed pool (see ``PaillierPublicKey.blinding_pool``)
+   and computes any shortfall as one batch, optionally in parallel.
+3. **Multicore dispatch** — every exponentiation-heavy kernel builds an
+   explicit job list and hands it to a :class:`~repro.crypto.parallel.
+   ParallelContext` when one is configured and the job count clears the
+   gate; results are bit-identical to serial execution.
+
+All kernels mirror the legacy object path's arithmetic exactly (same
+mantissa encodings, same negative-plaintext inversion trick, same exponent
+bookkeeping), which the equivalence test-suite pins down.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from repro.crypto.encoding import EncodedNumber
+from repro.crypto.math_utils import invmod
+from repro.crypto.parallel import ParallelContext, get_default_context
+
+__all__ = [
+    "TENSOR_EXPONENT",
+    "PLAIN_EXPONENT",
+    "encode_flat",
+    "encrypt_flat",
+    "decrypt_flat",
+    "align_flat",
+    "add_cipher_flat",
+    "sub_cipher_flat",
+    "add_plain_flat",
+    "mul_plain_flat",
+    "matmul_plain_cipher_flat",
+    "matmul_cipher_plain_flat",
+    "sparse_matmul_cipher_flat",
+    "sparse_t_matmul_flat",
+    "scatter_add_flat",
+    "obfuscate_flat",
+    "raw_mul_many",
+]
+
+# Uniform fixed-point exponents (shared with crypto_tensor, which re-exports
+# them): encrypted tensors carry ~2**-40 resolution, plaintext multipliers
+# ~2**-32; products land at 2**-72, far inside the plaintext bound of even
+# the shortest supported keys.
+TENSOR_EXPONENT = -40
+PLAIN_EXPONENT = -32
+
+_FLOAT_MANT_BITS = EncodedNumber.FLOAT_MANTISSA_BITS
+_MIN_DEFAULT_EXPONENT = EncodedNumber.MIN_DEFAULT_EXPONENT
+
+
+def _resolve(parallel: ParallelContext | None) -> ParallelContext | None:
+    return parallel if parallel is not None else get_default_context()
+
+
+# ---------------------------------------------------------------------------
+# Exponentiation job execution (the one place serial/parallel diverge).
+
+
+def raw_mul_many(
+    public_key,
+    pairs: Sequence[tuple[int, int]],
+    parallel: ParallelContext | None = None,
+) -> list[int]:
+    """``c^m mod n^2`` for every ``(ciphertext, mantissa)`` pair.
+
+    Mirrors ``PaillierPublicKey.raw_mul``; dispatches to the parallel
+    context when one is active and the batch clears its gate.
+    """
+    ctx = _resolve(parallel)
+    if ctx is not None and ctx.should_parallelize(len(pairs)):
+        return ctx.raw_mul_many(public_key, pairs)
+    n = public_key.n
+    nsq = public_key.nsquare
+    half = n // 2
+    out: list[int] = []
+    append = out.append
+    for c, m in pairs:
+        if m >= half:
+            c = invmod(c, nsq)
+            m = n - m
+        if m == 0:
+            append(1)
+        elif m == 1:
+            append(c)
+        else:
+            append(pow(c, m, nsq))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Encoding.
+
+
+def _encode_mantissa(public_key, value: float, exponent: int) -> int:
+    """Fixed-point mantissa residue of ``value`` at ``exponent`` (mod n)."""
+    if not math.isfinite(value):
+        raise ValueError(f"cannot encode non-finite value {value!r}")
+    try:
+        mantissa = int(round(math.ldexp(value, -exponent)))
+    except OverflowError:
+        raise OverflowError(
+            f"scalar {value} at exponent {exponent} exceeds plaintext bound"
+        ) from None
+    if abs(mantissa) > public_key.max_int:
+        raise OverflowError(
+            f"scalar {value} at exponent {exponent} exceeds plaintext bound"
+        )
+    return mantissa % public_key.n
+
+
+def encode_flat(public_key, values: np.ndarray, exponent: int) -> list[int]:
+    """Encode a flat float64 array at a uniform exponent, caching repeats."""
+    cache: dict[float, int] = {}
+    out: list[int] = []
+    append = out.append
+    for v in np.asarray(values, dtype=np.float64).ravel().tolist():
+        m = cache.get(v)
+        if m is None:
+            m = _encode_mantissa(public_key, v, exponent)
+            cache[v] = m
+        append(m)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Encrypt / decrypt.
+
+
+def encrypt_flat(
+    public_key,
+    values: np.ndarray,
+    exponent: int = TENSOR_EXPONENT,
+    obfuscate: bool = True,
+    parallel: ParallelContext | None = None,
+) -> list[int]:
+    """Encrypt a flat float array at a uniform exponent.
+
+    ``g = n + 1`` makes the deterministic part a single mulmod; the
+    obfuscation factors come from the key's blinding pool (batch-computed,
+    optionally parallel, when the pool runs dry).
+    """
+    n = public_key.n
+    nsq = public_key.nsquare
+    cts = [(1 + m * n) % nsq for m in encode_flat(public_key, values, exponent)]
+    if obfuscate:
+        blinders = public_key.blinding_factors(len(cts), parallel=_resolve(parallel))
+        cts = [(c * b) % nsq for c, b in zip(cts, blinders)]
+    return cts
+
+
+def decrypt_flat(
+    private_key, cts: Sequence[int], exponents: int | Sequence[int]
+) -> np.ndarray:
+    """CRT-decrypt a flat ciphertext batch to float64.
+
+    ``exponents`` is either one uniform exponent or a per-element sequence
+    (ragged tensors appear after the mul-by-one shortcut or mixed adds).
+    """
+    pk = private_key.public_key
+    n, max_int = pk.n, pk.max_int
+    p, q = private_key.p, private_key.q
+    psq, qsq = private_key.psquare, private_key.qsquare
+    hp, hq = private_key.hp, private_key.hq
+    p_inv = private_key.p_inverse
+    pm1, qm1 = p - 1, q - 1
+    uniform = isinstance(exponents, int)
+    out = np.empty(len(cts), dtype=np.float64)
+    for i, c in enumerate(cts):
+        mp = ((pow(c, pm1, psq) - 1) // p * hp) % p
+        mq = ((pow(c, qm1, qsq) - 1) // q * hq) % q
+        m = mp + ((mq - mp) * p_inv % q) * p
+        if m <= max_int:
+            mantissa = m
+        elif m >= n - max_int:
+            mantissa = m - n
+        else:
+            raise OverflowError(
+                "encoding fell in the overflow guard band; increase the key "
+                "size or reduce tensor magnitudes"
+            )
+        e = exponents if uniform else exponents[i]
+        # Keep huge-mantissa/negative-exponent pairs inside float range.
+        while abs(mantissa) > 2**1000:
+            mantissa >>= 64
+            e += 64
+        out[i] = math.ldexp(float(mantissa), e)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Exponent alignment.
+
+
+def _shift_ct(public_key, c: int, shift: int) -> int:
+    """Re-express a ciphertext at a ``shift``-bit finer exponent."""
+    if shift > public_key.key_bits:
+        raise OverflowError(
+            f"aligning exponents needs a {shift}-bit shift, beyond the "
+            f"{public_key.key_bits}-bit key"
+        )
+    return public_key.raw_mul(c, 1 << shift)
+
+
+def align_flat(
+    public_key, cts: Sequence[int], exponents: Sequence[int]
+) -> tuple[list[int], int]:
+    """Bring a ragged batch to its minimum (finest) common exponent."""
+    target = min(exponents)
+    out = [
+        c if e == target else _shift_ct(public_key, c, e - target)
+        for c, e in zip(cts, exponents)
+    ]
+    return out, target
+
+
+# ---------------------------------------------------------------------------
+# Elementwise kernels.  These mirror EncryptedNumber's per-element exponent
+# bookkeeping exactly (pairwise alignment, result at the pairwise minimum),
+# so rewiring CryptoTensor onto them is behaviour-preserving.
+
+
+def add_cipher_flat(
+    public_key,
+    a_cts: Sequence[int],
+    a_exps: Sequence[int],
+    b_cts: Sequence[int],
+    b_exps: Sequence[int],
+) -> tuple[list[int], list[int]]:
+    """Elementwise homomorphic ``a + b`` with pairwise exponent alignment."""
+    nsq = public_key.nsquare
+    out_cts: list[int] = []
+    out_exps: list[int] = []
+    for ca, ea, cb, eb in zip(a_cts, a_exps, b_cts, b_exps):
+        if ea > eb:
+            ca = _shift_ct(public_key, ca, ea - eb)
+            e = eb
+        elif eb > ea:
+            cb = _shift_ct(public_key, cb, eb - ea)
+            e = ea
+        else:
+            e = ea
+        out_cts.append((ca * cb) % nsq)
+        out_exps.append(e)
+    return out_cts, out_exps
+
+
+def sub_cipher_flat(
+    public_key,
+    a_cts: Sequence[int],
+    a_exps: Sequence[int],
+    b_cts: Sequence[int],
+    b_exps: Sequence[int],
+) -> tuple[list[int], list[int]]:
+    """Elementwise ``a - b`` (adds the modular inverse of ``b``)."""
+    nsq = public_key.nsquare
+    inv_b = [invmod(c, nsq) for c in b_cts]
+    return add_cipher_flat(public_key, a_cts, a_exps, inv_b, b_exps)
+
+
+def _default_float_exponent(value: float) -> int:
+    """The exponent ``EncodedNumber.encode(..., exponent=None)`` would pick."""
+    return max(math.frexp(value)[1] - _FLOAT_MANT_BITS, _MIN_DEFAULT_EXPONENT)
+
+
+def add_plain_flat(
+    public_key,
+    cts: Sequence[int],
+    exps: Sequence[int],
+    values: np.ndarray,
+) -> tuple[list[int], list[int]]:
+    """Elementwise ``cipher + plain`` at each value's natural precision."""
+    n = public_key.n
+    nsq = public_key.nsquare
+    out_cts: list[int] = []
+    out_exps: list[int] = []
+    enc_cache: dict[float, tuple[int, int]] = {}
+    for c, e, v in zip(cts, exps, np.asarray(values, dtype=np.float64).ravel().tolist()):
+        cached = enc_cache.get(v)
+        if cached is None:
+            ev = _default_float_exponent(v)
+            cached = (_encode_mantissa(public_key, v, ev), ev)
+            enc_cache[v] = cached
+        m, ev = cached
+        if ev > e:
+            m = (m << (ev - e)) % n
+            te = e
+        elif ev < e:
+            c = _shift_ct(public_key, c, e - ev)
+            te = ev
+        else:
+            te = e
+        out_cts.append((c * (1 + m * n)) % nsq)
+        out_exps.append(te)
+    return out_cts, out_exps
+
+
+def mul_plain_flat(
+    public_key,
+    cts: Sequence[int],
+    exps: Sequence[int],
+    values: np.ndarray,
+    parallel: ParallelContext | None = None,
+) -> tuple[list[int], list[int]]:
+    """Elementwise ``cipher * plain`` at ``PLAIN_EXPONENT``.
+
+    Multiplying by exactly ``1.0`` returns the ciphertext untouched (the
+    value is ``1 * 2^0``, so the exponent is unchanged) and by exactly
+    ``0.0`` returns the trivial encryption of zero — neither pays a
+    ``pow()``.  Everything else goes through one batched ``raw_mul``.
+    """
+    flat_vals = np.asarray(values, dtype=np.float64).ravel().tolist()
+    out_cts: list[int] = [0] * len(flat_vals)
+    out_exps: list[int] = [0] * len(flat_vals)
+    jobs: list[tuple[int, int]] = []
+    job_slots: list[int] = []
+    enc_cache: dict[float, int] = {}
+    for i, (c, e, v) in enumerate(zip(cts, exps, flat_vals)):
+        if v == 1.0:
+            out_cts[i] = c
+            out_exps[i] = e
+            continue
+        if v == 0.0:
+            out_cts[i] = 1
+            out_exps[i] = e
+            continue
+        m = enc_cache.get(v)
+        if m is None:
+            m = _encode_mantissa(public_key, v, PLAIN_EXPONENT)
+            enc_cache[v] = m
+        jobs.append((c, m))
+        job_slots.append(i)
+        out_exps[i] = e + PLAIN_EXPONENT
+    if jobs:
+        for slot, powered in zip(job_slots, raw_mul_many(public_key, jobs, parallel)):
+            out_cts[slot] = powered
+    return out_cts, out_exps
+
+
+# ---------------------------------------------------------------------------
+# Matrix products.  Each builds a deduplicated exponentiation job list (one
+# pow per distinct plaintext value per ciphertext element), executes it
+# serially or across the pool, then combines with cheap mulmods.
+
+
+def matmul_plain_cipher_flat(
+    public_key,
+    plain: np.ndarray,
+    cts: Sequence[int],
+    k: int,
+    exponent: int,
+    parallel: ParallelContext | None = None,
+) -> tuple[list[int], int]:
+    """Dense ``plain (s x m) @ cipher (m x k)`` over flat residues.
+
+    Zero entries are skipped; repeated values within a plaintext column
+    share one exponentiation per ciphertext row (the raw-mul cache).
+    Returns the flat ``s*k`` product batch and its uniform exponent.
+    """
+    plain = np.asarray(plain, dtype=np.float64)
+    s, m = plain.shape
+    nsq = public_key.nsquare
+    prod_exp = exponent + PLAIN_EXPONENT
+    enc_cache: dict[float, int] = {}
+    jobs: list[tuple[int, int]] = []
+    groups: list[list[int]] = []  # output-row lists, one per k-sized job block
+    for t in range(m):
+        col = plain[:, t]
+        nz = np.nonzero(col)[0]
+        if not nz.size:
+            continue
+        by_value: dict[float, list[int]] = {}
+        for i in nz.tolist():
+            by_value.setdefault(float(col[i]), []).append(i)
+        base = t * k
+        for v, rows in by_value.items():
+            mant = enc_cache.get(v)
+            if mant is None:
+                mant = _encode_mantissa(public_key, v, PLAIN_EXPONENT)
+                enc_cache[v] = mant
+            for j in range(k):
+                jobs.append((cts[base + j], mant))
+            groups.append(rows)
+    powered = raw_mul_many(public_key, jobs, parallel)
+    out = [1] * (s * k)
+    pos = 0
+    for rows in groups:
+        block = powered[pos : pos + k]
+        pos += k
+        for i in rows:
+            ob = i * k
+            for j in range(k):
+                out[ob + j] = (out[ob + j] * block[j]) % nsq
+    return out, prod_exp
+
+
+def matmul_cipher_plain_flat(
+    public_key,
+    cts: Sequence[int],
+    plain: np.ndarray,
+    s: int,
+    exponent: int,
+    parallel: ParallelContext | None = None,
+) -> tuple[list[int], int]:
+    """Dense ``cipher (s x m) @ plain (m x k)`` over flat residues."""
+    plain = np.asarray(plain, dtype=np.float64)
+    m, k = plain.shape
+    nsq = public_key.nsquare
+    prod_exp = exponent + PLAIN_EXPONENT
+    enc_cache: dict[float, int] = {}
+    jobs: list[tuple[int, int]] = []
+    groups: list[list[int]] = []  # output-column lists, one per s-sized block
+    for t in range(m):
+        row = plain[t]
+        nz = np.nonzero(row)[0]
+        if not nz.size:
+            continue
+        by_value: dict[float, list[int]] = {}
+        for j in nz.tolist():
+            by_value.setdefault(float(row[j]), []).append(j)
+        for v, cols in by_value.items():
+            mant = enc_cache.get(v)
+            if mant is None:
+                mant = _encode_mantissa(public_key, v, PLAIN_EXPONENT)
+                enc_cache[v] = mant
+            for i in range(s):
+                jobs.append((cts[i * m + t], mant))
+            groups.append(cols)
+    powered = raw_mul_many(public_key, jobs, parallel)
+    out = [1] * (s * k)
+    pos = 0
+    for cols in groups:
+        block = powered[pos : pos + s]
+        pos += s
+        for i in range(s):
+            pw = block[i]
+            ob = i * k
+            for j in cols:
+                out[ob + j] = (out[ob + j] * pw) % nsq
+    return out, prod_exp
+
+
+def sparse_matmul_cipher_flat(
+    public_key,
+    rows: Sequence[tuple[Sequence[int], Sequence[float]]],
+    m: int,
+    cts: Sequence[int],
+    k: int,
+    exponent: int,
+    parallel: ParallelContext | None = None,
+) -> tuple[list[int], int]:
+    """CSR ``plain @ cipher``: cost proportional to nnz mulmods.
+
+    Exponentiations are deduplicated across the whole batch by
+    ``(column, value)``: every batch row multiplying cipher row ``col`` by
+    the same value reuses one powered block — for binary features each
+    touched column costs ``k`` pows total, however many rows hit it.
+    """
+    nsq = public_key.nsquare
+    prod_exp = exponent + PLAIN_EXPONENT
+    enc_cache: dict[float, int] = {}
+    # (col, value) -> output rows that accumulate that powered block.
+    by_col_value: dict[tuple[int, float], list[int]] = {}
+    for i, (cols, vals) in enumerate(rows):
+        for col, v in zip(cols, vals):
+            col = int(col)
+            if col >= m:
+                raise IndexError("sparse column index out of range")
+            fv = float(v)
+            if fv == 0.0:
+                continue
+            by_col_value.setdefault((col, fv), []).append(i)
+    jobs: list[tuple[int, int]] = []
+    groups: list[list[int]] = []  # output-row lists, one per k-sized block
+    for (col, v), out_rows_for_block in by_col_value.items():
+        mant = enc_cache.get(v)
+        if mant is None:
+            mant = _encode_mantissa(public_key, v, PLAIN_EXPONENT)
+            enc_cache[v] = mant
+        base = col * k
+        for j in range(k):
+            jobs.append((cts[base + j], mant))
+        groups.append(out_rows_for_block)
+    powered = raw_mul_many(public_key, jobs, parallel)
+    out = [1] * (len(rows) * k)
+    pos = 0
+    for out_rows_for_block in groups:
+        block = powered[pos : pos + k]
+        pos += k
+        for i in out_rows_for_block:
+            ob = i * k
+            for j in range(k):
+                out[ob + j] = (out[ob + j] * block[j]) % nsq
+    return out, prod_exp
+
+
+def sparse_t_matmul_flat(
+    public_key,
+    rows: Sequence[tuple[Sequence[int], Sequence[float]]],
+    cts: Sequence[int],
+    k: int,
+    exponent: int,
+    out_rows: int,
+    col_to_out: dict[int, int] | None,
+    parallel: ParallelContext | None = None,
+) -> tuple[list[int], int]:
+    """CSR ``X.T (m x batch) @ cipher (batch x k)`` in O(nnz * k) mulmods.
+
+    Exponentiations are deduplicated per batch row: all columns of the row
+    holding the same value (ubiquitous for binary features) share one
+    powered cipher-row block.
+    """
+    nsq = public_key.nsquare
+    prod_exp = exponent + PLAIN_EXPONENT
+    enc_cache: dict[float, int] = {}
+    jobs: list[tuple[int, int]] = []
+    groups: list[list[int]] = []  # target output rows per k-sized job block
+    for i, (cols, vals) in enumerate(rows):
+        by_value: dict[float, list[int]] = {}
+        for col, v in zip(cols, vals):
+            col = int(col)
+            if col_to_out is None:
+                target = col
+                if target >= out_rows:
+                    raise IndexError("sparse column index out of range")
+            else:
+                if col not in col_to_out:
+                    raise IndexError("batch touches a column outside `columns`")
+                target = col_to_out[col]
+            fv = float(v)
+            if fv == 0.0:
+                continue
+            by_value.setdefault(fv, []).append(target)
+        base = i * k
+        for v, targets in by_value.items():
+            mant = enc_cache.get(v)
+            if mant is None:
+                mant = _encode_mantissa(public_key, v, PLAIN_EXPONENT)
+                enc_cache[v] = mant
+            for j in range(k):
+                jobs.append((cts[base + j], mant))
+            groups.append(targets)
+    powered = raw_mul_many(public_key, jobs, parallel)
+    out = [1] * (out_rows * k)
+    pos = 0
+    for targets in groups:
+        block = powered[pos : pos + k]
+        pos += k
+        for target in targets:
+            ob = target * k
+            for j in range(k):
+                out[ob + j] = (out[ob + j] * block[j]) % nsq
+    return out, prod_exp
+
+
+# ---------------------------------------------------------------------------
+# Scatter-add and obfuscation (no exponentiation — pure mulmod loops).
+
+
+def scatter_add_flat(
+    public_key,
+    cts: Sequence[int],
+    indices: Sequence[int],
+    num_rows: int,
+    dim: int,
+) -> list[int]:
+    """Encrypted ``lkup_bw``: homomorphically sum batch rows into a table."""
+    nsq = public_key.nsquare
+    out = [1] * (num_rows * dim)
+    for bi, r in enumerate(indices):
+        ob = int(r) * dim
+        ib = bi * dim
+        for j in range(dim):
+            out[ob + j] = (out[ob + j] * cts[ib + j]) % nsq
+    return out
+
+
+def obfuscate_flat(
+    public_key,
+    cts: Sequence[int],
+    parallel: ParallelContext | None = None,
+) -> list[int]:
+    """Re-randomise a batch with blinders from the precomputed pool."""
+    nsq = public_key.nsquare
+    blinders = public_key.blinding_factors(len(cts), parallel=_resolve(parallel))
+    return [(c * b) % nsq for c, b in zip(cts, blinders)]

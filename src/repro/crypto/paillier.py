@@ -27,7 +27,9 @@ work unchanged, just slower.
 
 from __future__ import annotations
 
+import math
 import random
+from collections import deque
 
 from repro.crypto.encoding import EncodedNumber
 from repro.crypto.math_utils import generate_prime, invmod
@@ -46,7 +48,7 @@ DEFAULT_KEY_BITS = 256
 class PaillierPublicKey:
     """Public half of a Paillier key pair (the modulus ``n``)."""
 
-    __slots__ = ("n", "nsquare", "max_int", "_rng", "key_bits")
+    __slots__ = ("n", "nsquare", "max_int", "_rng", "key_bits", "_blind_pool")
 
     def __init__(self, n: int, rng: random.Random | None = None):
         self.n = n
@@ -56,6 +58,9 @@ class PaillierPublicKey:
         self.max_int = n // 3 - 1
         self.key_bits = n.bit_length()
         self._rng = rng or random.Random()
+        # Precomputed obfuscation blinders r^n mod n^2 (FIFO so a seeded rng
+        # yields the same ciphertext stream whether or not the pool is used).
+        self._blind_pool: deque[int] = deque()
 
     # -- raw integer layer --------------------------------------------------
 
@@ -68,9 +73,59 @@ class PaillierPublicKey:
             return nude
         return (nude * self._random_blinding()) % self.nsquare
 
+    def _draw_blinding_base(self) -> int:
+        """Draw ``r`` uniform in ``(0, n)`` with ``gcd(r, n) == 1``.
+
+        A random ``r`` sharing a factor with ``n`` is astronomically rare
+        for real key sizes (it would factor the modulus), but ``r^n`` would
+        then be non-invertible and the "blinded" ciphertext degenerate, so
+        we guard anyway — it matters for the tiny moduli the tests use.
+        """
+        while True:
+            r = self._rng.randrange(1, self.n)
+            if math.gcd(r, self.n) == 1:
+                return r
+
     def _random_blinding(self) -> int:
-        r = self._rng.randrange(1, self.n)
-        return pow(r, self.n, self.nsquare)
+        if self._blind_pool:
+            return self._blind_pool.popleft()
+        return pow(self._draw_blinding_base(), self.n, self.nsquare)
+
+    def blinding_factors(self, count: int, parallel: object | None = None) -> list[int]:
+        """``count`` obfuscation factors ``r^n mod n^2``.
+
+        Drains the precomputed pool first; any shortfall is computed as one
+        batch (the dominant cost of obfuscated encryption), sharded across
+        ``parallel`` when a :class:`~repro.crypto.parallel.ParallelContext`
+        is given and the batch clears its gate.
+        """
+        out: list[int] = []
+        pool = self._blind_pool
+        while pool and len(out) < count:
+            out.append(pool.popleft())
+        need = count - len(out)
+        if need > 0:
+            out.extend(self._compute_blinders(need, parallel))
+        return out
+
+    def _compute_blinders(self, count: int, parallel: object | None) -> list[int]:
+        bases = [self._draw_blinding_base() for _ in range(count)]
+        if parallel is not None and parallel.should_parallelize(count):
+            return parallel.pow_n_many(self, bases)
+        n, nsq = self.n, self.nsquare
+        return [pow(r, n, nsq) for r in bases]
+
+    def prefill_blinding(self, count: int, parallel: object | None = None) -> None:
+        """Top the obfuscation pool up to ``count`` blinders, off the hot path.
+
+        Call between batches (or from an idle worker) so subsequent
+        obfuscated encryptions only pay a mulmod each.  Blinders already in
+        the pool count towards ``count``, so periodic refills never
+        overprovision.
+        """
+        need = count - len(self._blind_pool)
+        if need > 0:
+            self._blind_pool.extend(self._compute_blinders(need, parallel))
 
     def raw_add(self, c1: int, c2: int) -> int:
         return (c1 * c2) % self.nsquare
@@ -247,6 +302,13 @@ class EncryptedNumber:
         if isinstance(other, EncodedNumber):
             encoded = other
         elif isinstance(other, (int, float)):
+            # Exact identity/annihilator shortcuts: 1.0 is 1 * 2^0 (same
+            # ciphertext, same exponent) and 0.0 is the trivial encryption
+            # of zero — neither needs an encoding or a pow().
+            if other == 1:
+                return self
+            if other == 0:
+                return EncryptedNumber(self.public_key, 1, self.exponent)
             encoded = EncodedNumber.encode(self.public_key, other, exponent=None)
         else:
             return NotImplemented

@@ -1,0 +1,207 @@
+"""Multicore execution engine for the flat ciphertext kernels.
+
+The expensive step of every CryptoTensor primitive is a modular
+exponentiation over ``Z_{n^2}`` — ``pow(c, m, n^2)`` for plaintext products
+and ``pow(r, n, n^2)`` for obfuscation blinders.  Those exponentiations are
+embarrassingly parallel and carry no shared state beyond the public modulus,
+so :class:`ParallelContext` shards them across a ``multiprocessing`` pool:
+
+* workers receive ``(n, n^2)`` **once**, through the pool initializer, and
+  thereafter only chunks of integer limbs travel over the pipe;
+* dispatch is threshold-gated (``min_jobs``): small tensors never pay the
+  pickling/IPC tax and run serial, bit-identically to the parallel path;
+* the pool is lazily created on first use and rebuilt if a different public
+  key shows up, so one context can serve a whole training run.
+
+A process-wide default context can be installed with
+:func:`set_default_context` (or scoped with the :func:`use_parallel` context
+manager, which the trainer uses); every kernel resolves ``parallel=None`` to
+that default, so enabling multicore execution is a one-line config change.
+
+The paper's CryptoTensor runs its GMP loops under OpenMP (§7.1); a process
+pool is the CPython equivalent — the GIL never sees the inner loops because
+each worker is its own interpreter.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import multiprocessing
+import os
+from typing import Iterator, Sequence
+
+from repro.crypto.math_utils import invmod
+
+__all__ = [
+    "ParallelContext",
+    "get_default_context",
+    "set_default_context",
+    "use_parallel",
+]
+
+# ---------------------------------------------------------------------------
+# Worker-side state and chunk kernels.
+#
+# Workers are initialised once per pool with the public modulus; every task
+# afterwards is a plain list of integers.  The functions must live at module
+# top level so the "spawn" start method can import them.
+
+_W_N: int = 0
+_W_NSQ: int = 0
+_W_HALF: int = 0
+
+
+def _init_worker(n: int, nsquare: int) -> None:
+    global _W_N, _W_NSQ, _W_HALF
+    _W_N = n
+    _W_NSQ = nsquare
+    _W_HALF = n // 2
+
+
+def _raw_mul_chunk(pairs: Sequence[tuple[int, int]]) -> list[int]:
+    """Chunk kernel: ``[(c, mantissa), ...] -> [c^mantissa mod n^2, ...]``.
+
+    Mirrors ``PaillierPublicKey.raw_mul`` exactly (including the
+    negative-mantissa ciphertext-inversion trick) so serial and parallel
+    execution produce bit-identical ciphertexts.
+    """
+    n, nsq, half = _W_N, _W_NSQ, _W_HALF
+    out = []
+    append = out.append
+    for c, m in pairs:
+        if m >= half:
+            c = invmod(c, nsq)
+            m = n - m
+        if m == 0:
+            append(1)
+        elif m == 1:
+            append(c)
+        else:
+            append(pow(c, m, nsq))
+    return out
+
+
+def _pow_n_chunk(bases: Sequence[int]) -> list[int]:
+    """Chunk kernel: obfuscation blinders ``r -> r^n mod n^2``."""
+    n, nsq = _W_N, _W_NSQ
+    return [pow(r, n, nsq) for r in bases]
+
+
+class ParallelContext:
+    """A threshold-gated multiprocessing pool for kernel exponentiations.
+
+    Args:
+        workers: process count; defaults to the CPU count.
+        min_jobs: below this many exponentiations a call stays serial
+            (IPC would dominate); tuned for ~256-bit keys, conservative for
+            longer ones where each pow is worth far more than its pickle.
+        start_method: multiprocessing start method; defaults to ``fork``
+            where available (cheap, inherits the interpreter) else
+            ``spawn``.
+    """
+
+    def __init__(
+        self,
+        workers: int | None = None,
+        min_jobs: int = 512,
+        start_method: str | None = None,
+    ):
+        if workers is None:
+            workers = os.cpu_count() or 1
+        if workers < 1:
+            raise ValueError("workers must be positive")
+        self.workers = workers
+        self.min_jobs = min_jobs
+        if start_method is None:
+            methods = multiprocessing.get_all_start_methods()
+            start_method = "fork" if "fork" in methods else "spawn"
+        self._start_method = start_method
+        # One warm pool per modulus: two-party protocols interleave kernels
+        # under both parties' keys every batch, and rebuilding a pool on each
+        # key switch would cost more than the exponentiations it shards.
+        # Federations have a handful of keys, so the dict stays tiny.
+        self._pools: dict[int, object] = {}
+
+    # -- pool plumbing -------------------------------------------------------
+
+    def should_parallelize(self, n_jobs: int) -> bool:
+        return self.workers >= 2 and n_jobs >= self.min_jobs
+
+    def _ensure_pool(self, n: int, nsquare: int):
+        pool = self._pools.get(n)
+        if pool is None:
+            ctx = multiprocessing.get_context(self._start_method)
+            pool = ctx.Pool(
+                self.workers, initializer=_init_worker, initargs=(n, nsquare)
+            )
+            self._pools[n] = pool
+        return pool
+
+    def _chunks(self, items: Sequence, n_chunks: int) -> list[Sequence]:
+        size = max(1, (len(items) + n_chunks - 1) // n_chunks)
+        return [items[i : i + size] for i in range(0, len(items), size)]
+
+    def _map(self, fn, public_key, items: Sequence) -> list[int]:
+        pool = self._ensure_pool(public_key.n, public_key.nsquare)
+        chunks = self._chunks(items, self.workers * 4)
+        out: list[int] = []
+        for part in pool.map(fn, chunks):
+            out.extend(part)
+        return out
+
+    # -- kernel entry points -------------------------------------------------
+
+    def raw_mul_many(self, public_key, pairs: Sequence[tuple[int, int]]) -> list[int]:
+        """Parallel ``c^m mod n^2`` over ``(ciphertext, mantissa)`` pairs."""
+        return self._map(_raw_mul_chunk, public_key, pairs)
+
+    def pow_n_many(self, public_key, bases: Sequence[int]) -> list[int]:
+        """Parallel obfuscation blinders ``r^n mod n^2``."""
+        return self._map(_pow_n_chunk, public_key, bases)
+
+    def close(self) -> None:
+        for pool in self._pools.values():
+            pool.terminate()
+            pool.join()
+        self._pools.clear()
+
+    def __enter__(self) -> "ParallelContext":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"ParallelContext(workers={self.workers}, min_jobs={self.min_jobs})"
+
+
+# ---------------------------------------------------------------------------
+# Process-wide default context.
+
+_DEFAULT_CONTEXT: ParallelContext | None = None
+
+
+def get_default_context() -> ParallelContext | None:
+    """The context kernels fall back to when called with ``parallel=None``."""
+    return _DEFAULT_CONTEXT
+
+
+def set_default_context(ctx: ParallelContext | None) -> ParallelContext | None:
+    """Install (or clear) the process-wide default; returns the previous one."""
+    global _DEFAULT_CONTEXT
+    previous = _DEFAULT_CONTEXT
+    _DEFAULT_CONTEXT = ctx
+    return previous
+
+
+@contextlib.contextmanager
+def use_parallel(ctx: ParallelContext | None) -> Iterator[ParallelContext | None]:
+    """Scope a default context: installed on entry, restored (and the pool
+    closed) on exit.  ``use_parallel(None)`` forces serial execution inside."""
+    previous = set_default_context(ctx)
+    try:
+        yield ctx
+    finally:
+        set_default_context(previous)
+        if ctx is not None:
+            ctx.close()

@@ -26,6 +26,7 @@ import numpy as np
 
 from repro.comm.message import MessageKind
 from repro.crypto.crypto_tensor import TENSOR_EXPONENT, CryptoTensor
+from repro.crypto.parallel import ParallelContext
 
 if TYPE_CHECKING:  # pragma: no cover - runtime uses duck typing to avoid
     # a circular import (comm.party needs crypto for key generation).
@@ -65,6 +66,7 @@ def he2ss_split(
     channel: "Channel",
     tag: str,
     mask_scale: float,
+    parallel: ParallelContext | None = None,
 ) -> np.ndarray:
     """Algorithm 1, the branch of the party that does *not* own the key.
 
@@ -78,7 +80,7 @@ def he2ss_split(
         raise ValueError("ciphertext is not under the claimed key owner's key")
     # Fresh obfuscated encryption of -phi re-randomises the whole sum.
     masked = ciphertext + CryptoTensor.encrypt(
-        peer_pk, -phi, exponent=TENSOR_EXPONENT, obfuscate=True
+        peer_pk, -phi, exponent=TENSOR_EXPONENT, obfuscate=True, parallel=parallel
     )
     channel.send(holder.name, key_owner_name, tag, masked, MessageKind.CIPHERTEXT)
     return phi
@@ -93,11 +95,19 @@ def he2ss_receive(key_owner: "Party", channel: "Channel", tag: str) -> np.ndarra
 
 
 def ss2he_send(
-    own_piece: np.ndarray, me: "Party", peer_name: str, channel: "Channel", tag: str
+    own_piece: np.ndarray,
+    me: "Party",
+    peer_name: str,
+    channel: "Channel",
+    tag: str,
+    parallel: ParallelContext | None = None,
 ) -> None:
     """Algorithm 2, line 2: encrypt own piece under *own* key and send it."""
     ciphertext = CryptoTensor.encrypt(
-        me.public_key, np.asarray(own_piece, dtype=np.float64), obfuscate=True
+        me.public_key,
+        np.asarray(own_piece, dtype=np.float64),
+        obfuscate=True,
+        parallel=parallel,
     )
     channel.send(me.name, peer_name, tag, ciphertext, MessageKind.CIPHERTEXT)
 

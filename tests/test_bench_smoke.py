@@ -1,0 +1,42 @@
+"""Tier-1 perf smoke: the kernel path must beat the legacy object path.
+
+Runs the quick microbench gate from ``benchmarks/run_bench.py`` (sub-second
+sizes) so a perf regression in the flat kernels fails ``pytest -x -q``
+directly, and checks the emitted benchmark JSON is well-formed.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
+
+import run_bench  # noqa: E402  (path bootstrap above)
+
+
+def test_kernel_path_not_slower_than_legacy():
+    results = run_bench.check()
+    # Every gated primitive must clear the margin (check() raised otherwise);
+    # spot-check the numbers are sane, not just present.
+    for entry in results["matmul_plain_cipher"]:
+        assert entry["kernel_s"] > 0
+        assert entry["speedup_kernel"] >= run_bench.MIN_SPEEDUP
+    assert results["sparse_matmul"]["fwd_speedup"] >= run_bench.MIN_SPEEDUP
+    assert results["sparse_matmul"]["bwd_speedup"] >= run_bench.MIN_SPEEDUP
+
+
+def test_bench_json_roundtrips(tmp_path):
+    import bench_kernels
+
+    out = tmp_path / "BENCH_kernels.json"
+    rc = bench_kernels.main(
+        ["--quick", "--key-bits", "128", "--workers", "0", "--out", str(out)]
+    )
+    assert rc == 0
+    payload = json.loads(out.read_text())
+    assert payload["meta"]["key_bits"] == 128
+    assert payload["matmul_plain_cipher"]
+    assert payload["scatter_add"]["speedup_kernel"] > 0

@@ -179,3 +179,63 @@ def test_larger_key_roundtrip():
     pk, sk = generate_paillier_keypair(512, seed=3)
     value = 123456.789
     assert sk.decrypt(pk.encrypt(value) * 2.0 + 1.0) == pytest.approx(2 * value + 1)
+
+
+# ---------------------------------------------------------------------------
+# Blinding pool, gcd guard, and the exact mul-by-0/1 shortcuts.
+
+
+def test_blinding_guard_skips_noninvertible_r():
+    """With a contrived tiny modulus, r sharing a factor with n is common;
+    every blinder must still be invertible mod n^2."""
+    import random
+
+    from repro.crypto.paillier import PaillierPublicKey
+
+    pk = PaillierPublicKey(3 * 5, rng=random.Random(0))
+    for _ in range(200):
+        blinder = pk._random_blinding()
+        assert math.gcd(blinder, pk.nsquare) == 1
+
+
+def test_blinding_pool_prefill_and_drain(keypair):
+    pk, sk = keypair
+    pk.prefill_blinding(4)
+    assert len(pk._blind_pool) >= 4
+    enc = pk.encrypt(1.5, obfuscate=True)
+    assert sk.decrypt(enc) == pytest.approx(1.5)
+    # Draining past the pool falls back to fresh computation.
+    factors = pk.blinding_factors(10)
+    assert len(factors) == 10
+    assert all(math.gcd(b, pk.nsquare) == 1 for b in factors)
+
+
+def test_mul_by_exact_one_is_identity(keypair):
+    """The 1.0 shortcut returns the ciphertext and exponent untouched."""
+    pk, sk = keypair
+    enc = pk.encrypt(-7.25)
+    for one in (1, 1.0):
+        prod = enc * one
+        assert prod.ciphertext == enc.ciphertext
+        assert prod.exponent == enc.exponent
+        assert sk.decrypt(prod) == pytest.approx(-7.25)
+
+
+def test_mul_by_exact_zero_is_trivial_zero(keypair):
+    pk, sk = keypair
+    enc = pk.encrypt(42.0)
+    for zero in (0, 0.0):
+        prod = enc * zero
+        assert prod.ciphertext == 1  # the unobfuscated encryption of zero
+        assert prod.exponent == enc.exponent
+        assert sk.decrypt(prod) == 0.0
+
+
+def test_mul_shortcut_exponent_bookkeeping_composes(keypair):
+    """Products from the shortcuts must still align and add correctly with
+    ordinary ciphertexts (the regression the shortcut could have broken)."""
+    pk, sk = keypair
+    a = pk.encrypt(3.5)
+    b = pk.encrypt(1.25)
+    combined = (a * 1.0) + (b * 0.0) + (a * 2.0)
+    assert sk.decrypt(combined) == pytest.approx(3.5 + 0.0 + 7.0)
