@@ -27,11 +27,18 @@ from pathlib import Path
 sys.path.insert(0, str(Path(__file__).resolve().parent))
 
 import bench_kernels  # noqa: E402  (path bootstrap above)
+import bench_packing  # noqa: E402
 
 # The kernels' structural edge on these primitives is several-fold; 1.0
 # would already catch a true regression, a small margin keeps noise out.
 MIN_SPEEDUP = 1.1
 KEY_BITS = 128  # short keys keep the quick gate far under the 60 s budget
+
+# Packing gates: wire-size reductions are deterministic counting (no timing
+# noise), so the production-key bound is the acceptance criterion itself.
+PACKING_KEY_BITS = 256  # smallest key whose layout fits two product slots
+MIN_PACKED_ENCRYPT_SPEEDUP = 1.1
+MIN_PRODUCTION_REDUCTION = 5.0
 
 
 def check(results: dict | None = None) -> dict:
@@ -68,14 +75,61 @@ def check(results: dict | None = None) -> dict:
     return results
 
 
+def check_packing(results: dict | None = None) -> dict:
+    """Assert the packing subsystem's wins hold.
+
+    Timed gate: packed obfuscated encryption must beat per-element
+    encryption (it does structurally — one blinding exponentiation per
+    ``slots`` values).  Counting gate: at the paper's 2048-bit production
+    keys, the HE2SS forward-transfer grid must show at least a
+    ``MIN_PRODUCTION_REDUCTION``-fold drop in both ciphertext count and
+    accounted wire bytes (the PR's acceptance criterion).
+    """
+    if results is None:
+        results = bench_packing.run(key_bits=PACKING_KEY_BITS, quick=True, repeat=2)
+    failures = []
+    enc = results["encrypt"]
+    if enc["speedup_packed"] < MIN_PACKED_ENCRYPT_SPEEDUP:
+        failures.append(
+            f"packed encrypt {enc['packed_s']:.4f}s vs unpacked "
+            f"{enc['unpacked_s']:.4f}s ({enc['speedup_packed']:.2f}x < "
+            f"{MIN_PACKED_ENCRYPT_SPEEDUP}x)"
+        )
+    production = [
+        row
+        for row in results["bandwidth"]
+        if row["key_bits"] == bench_packing.PRODUCTION_KEY_BITS
+    ]
+    if not production:
+        failures.append("no production-key bandwidth rows in the grid")
+    for row in production:
+        for metric in ("ct_reduction", "byte_reduction"):
+            if row[metric] is None or row[metric] < MIN_PRODUCTION_REDUCTION:
+                failures.append(
+                    f"{row['rows']}x{row['cols']} @ {row['key_bits']}b: "
+                    f"{metric} {row[metric]} < {MIN_PRODUCTION_REDUCTION}x"
+                )
+    if failures:
+        raise AssertionError(
+            "packing subsystem regressed below its structural wins:\n  "
+            + "\n  ".join(failures)
+        )
+    return results
+
+
 def main() -> int:
     try:
         results = check()
+        packing_results = check_packing()
     except AssertionError as exc:
         print(f"FAIL: {exc}", file=sys.stderr)
         return 1
-    print(json.dumps(results, indent=2))
+    print(json.dumps({"kernels": results, "packing": packing_results}, indent=2))
     print("OK: kernel path beats the legacy object path on all gated primitives")
+    print(
+        "OK: packed encryption beats per-element and the production-key "
+        f"transfer grid clears {MIN_PRODUCTION_REDUCTION}x"
+    )
     return 0
 
 

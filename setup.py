@@ -5,8 +5,17 @@ pip's PEP-517 editable path (which builds a wheel) is unavailable.  This
 shim lets ``pip install -e . --no-build-isolation --no-use-pep517`` fall
 back to the classic ``setup.py develop`` flow.  All metadata lives in
 ``pyproject.toml``.
+
+The ``[fast]`` extra pulls in gmpy2, which the crypto substrate uses as an
+optional GMP-backed fast path for modular exponentiation and inversion
+(see :mod:`repro.crypto.math_utils`); without it the pure-python
+implementations are used automatically.
 """
 
 from setuptools import setup
 
-setup()
+setup(
+    extras_require={
+        "fast": ["gmpy2>=2.1"],
+    },
+)

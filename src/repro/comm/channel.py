@@ -20,20 +20,36 @@ from repro.comm.message import Message, MessageKind
 __all__ = ["Channel", "payload_nbytes"]
 
 
-def payload_nbytes(payload: object, cipher_bytes: int = 512) -> int:
+def payload_nbytes(payload: object, cipher_bytes: int | None = None) -> int:
     """Estimate the wire size of a payload.
 
-    Ciphertexts cost ``cipher_bytes`` each (2 * key_bits / 8 for Paillier,
-    512 B for a 2048-bit production key); numpy arrays their buffer size.
+    A Paillier ciphertext lives mod ``n**2``, so it costs ``2 * key_bits /
+    8`` bytes — derived from the *actual* public key the payload carries
+    (512 B for the paper's 2048-bit production keys).  Callers may pin an
+    explicit ``cipher_bytes``; 512 B is only the fallback for payloads
+    that carry no key.  Packed tensors are charged per *ciphertext*, not
+    per logical element — the ``slots``-fold bandwidth saving the packing
+    subsystem exists for.  Numpy arrays cost their buffer size.
     """
     # Local import: crypto depends on comm for HE2SS, so keep this lazy.
     from repro.crypto.crypto_tensor import CryptoTensor
+    from repro.crypto.packing import PackedCryptoTensor
     from repro.crypto.paillier import EncryptedNumber
 
+    def _ct_bytes(public_key: object) -> int:
+        if cipher_bytes is not None:
+            return cipher_bytes
+        key_bits = getattr(public_key, "key_bits", None)
+        if key_bits is None:
+            return 512  # no key in sight: assume the production key size
+        return 2 * ((key_bits + 7) // 8)
+
     if isinstance(payload, CryptoTensor):
-        return payload.size * cipher_bytes
+        return payload.size * _ct_bytes(payload.public_key)
+    if isinstance(payload, PackedCryptoTensor):
+        return payload.n_ciphertexts * _ct_bytes(payload.public_key)
     if isinstance(payload, EncryptedNumber):
-        return cipher_bytes
+        return _ct_bytes(payload.public_key)
     if isinstance(payload, np.ndarray):
         return payload.nbytes
     if isinstance(payload, (list, tuple)):

@@ -48,6 +48,18 @@ class VFLConfig:
             touched by the batch (the sparse-aware mode; see DESIGN.md §3).
         record_transcript: keep the full message transcript (the security
             tests need it; long benchmarks may disable it to save memory).
+        packing: SIMD-slot ciphertext batching (see
+            :mod:`repro.crypto.packing`).  When on, weight pieces that are
+            only ever used as ``plain @ cipher`` right operands are
+            encrypted in packed form, and every HE2SS transfer packs
+            ``slots`` values per ciphertext before hitting the wire —
+            cutting ciphertext count, blinding exponentiations and wire
+            bytes by the slot factor.  Keys too small to fit two slots
+            fall back to per-element ciphertexts automatically.  Results
+            decode bit-identically to the unpacked protocol (with
+            ``share_refresh="delta"`` the refresh replaces touched rows
+            instead of homomorphically adding deltas, so trajectories may
+            differ by fixed-point rounding at 2**-40).
     """
 
     key_bits: int = DEFAULT_KEY_BITS
@@ -55,6 +67,7 @@ class VFLConfig:
     grad_mask_scale: float = 128.0
     share_refresh: str = "reencrypt"
     record_transcript: bool = True
+    packing: bool = False
 
     def __post_init__(self) -> None:
         if self.share_refresh not in ("reencrypt", "delta"):

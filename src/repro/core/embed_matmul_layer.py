@@ -34,7 +34,7 @@ from repro.crypto.crypto_tensor import (
     matmul_plain_cipher,
 )
 from repro.crypto.parallel import ParallelContext
-from repro.crypto.secret_sharing import he2ss_receive, he2ss_split
+from repro.crypto.secret_sharing import he2ss_receive
 from repro.core.federated import FederatedParameter, SourceLayer
 
 __all__ = ["EmbedMatMulSource"]
@@ -120,8 +120,13 @@ class EmbedMatMulSource(SourceLayer):
         t_a = b.rng.normal(0.0, piece, size=(total_a, emb_dim))
         u_b = b.rng.normal(0.0, piece, size=(self.flat_in_b, out_dim))
         v_a = b.rng.normal(0.0, piece, size=(self.flat_in_a, out_dim))
-        self._send_init(a, b, {"T_B": t_b, "U_A": u_a, "V_B": v_b})
-        self._send_init(b, a, {"T_A": t_a, "U_B": u_b, "V_A": v_a})
+        # With packing on, the U pieces — only ever consumed as
+        # ``plain @ cipher`` right operands — travel and live packed along
+        # the output dimension.  T stays per-element (the lookup/reshape
+        # pipeline re-groups lanes across rows) and V stays per-element
+        # (the backward pass uses its transpose).
+        self._send_init(a, b, {"T_B": t_b, "U_A": u_a, "V_B": v_b}, packed=("U_A",))
+        self._send_init(b, a, {"T_A": t_a, "U_B": u_b, "V_A": v_a}, packed=("U_B",))
         enc_at_a = self._recv_init(a, ["T_A", "U_B", "V_A"])
         enc_at_b = self._recv_init(b, ["T_B", "U_A", "V_B"])
         self._a = _EmbedState(
@@ -135,17 +140,26 @@ class EmbedMatMulSource(SourceLayer):
             enc_v_own=enc_at_b["V_B"], offsets=off_b,
         )
 
-    def _send_init(self, sender: Party, receiver: Party, pieces: dict) -> None:
+    def _send_init(
+        self, sender: Party, receiver: Party, pieces: dict, packed: tuple = ()
+    ) -> None:
         for key, arr in pieces.items():
+            if key in packed:
+                tensor: object = self._encrypt_piece(sender.public_key, arr)
+            else:
+                tensor = CryptoTensor.encrypt(
+                    sender.public_key, arr, obfuscate=True, parallel=self.parallel
+                )
             self.ctx.channel.send(
                 sender.name,
                 receiver.name,
                 f"{self.name}.init.{key}",
-                CryptoTensor.encrypt(
-                    sender.public_key, arr, obfuscate=True, parallel=self.parallel
-                ),
+                tensor,
                 MessageKind.CIPHERTEXT,
             )
+
+    def _packing_contraction(self) -> int:
+        return max(self.flat_in_a, self.flat_in_b, 2)
 
     def _recv_init(self, receiver: Party, keys: list[str]) -> dict:
         return {
@@ -201,9 +215,8 @@ class EmbedMatMulSource(SourceLayer):
             state, me, peer = self._party_pair(who)
             flat = self._flat_indices(state, x_cat)
             lk_enc = state.enc_t_own.take_rows(flat).reshape(batch, -1)
-            eps = he2ss_split(
-                lk_enc, me, peer.name, ch, f"{tag}.fwd.lkT_{who}", cfg.mask_scale,
-                parallel=self.parallel,
+            eps = self._he2ss(
+                lk_enc, me, peer.name, f"{tag}.fwd.lkT_{who}", cfg.mask_scale
             )
             lk_t_share = he2ss_receive(peer, ch, f"{tag}.fwd.lkT_{who}")
             psi = eps + state.s[flat].reshape(batch, -1)
@@ -222,9 +235,8 @@ class EmbedMatMulSource(SourceLayer):
             state, me, peer = self._party_pair(who)
             psi = shares[who][0]
             ct = matmul_plain_cipher(psi, state.enc_v_own, parallel=self.parallel)
-            eps1 = he2ss_split(
-                ct, me, peer.name, ch, f"{tag}.fwd.psiV_{who}", cfg.mask_scale,
-                parallel=self.parallel,
+            eps1 = self._he2ss(
+                ct, me, peer.name, f"{tag}.fwd.psiV_{who}", cfg.mask_scale
             )
             peer_share = he2ss_receive(peer, ch, f"{tag}.fwd.psiV_{who}")
             contributions[who].append(psi @ state.u + eps1)
@@ -240,9 +252,8 @@ class EmbedMatMulSource(SourceLayer):
             ct = matmul_plain_cipher(
                 e_share, peer_state.enc_u_peer, parallel=self.parallel
             )
-            eps2 = he2ss_split(
-                ct, peer, me.name, ch, f"{tag}.fwd.eU_{who}", cfg.mask_scale,
-                parallel=self.parallel,
+            eps2 = self._he2ss(
+                ct, peer, me.name, f"{tag}.fwd.eU_{who}", cfg.mask_scale
             )
             my_share = he2ss_receive(me, ch, f"{tag}.fwd.eU_{who}")
             contributions[peer.name].append(e_share @ peer_state.v_peer + eps2)
@@ -280,10 +291,7 @@ class EmbedMatMulSource(SourceLayer):
 
         # Line 13-14: <phi, grad_W_A - phi>.
         ct = matmul_plain_cipher(self._a.psi.T, enc_gz_at_a, parallel=self.parallel)
-        phi = he2ss_split(
-            ct, a, "B", ch, f"{tag}.bwd.psiTgZ", cfg.grad_mask_scale,
-            parallel=self.parallel,
-        )
+        phi = self._he2ss(ct, a, "B", f"{tag}.bwd.psiTgZ", cfg.grad_mask_scale)
         psi_t_gz_share = he2ss_receive(b, ch, f"{tag}.bwd.psiTgZ")
         gw_a_minus_phi = self._b.e_minus_psi_peer.T @ grad_z + psi_t_gz_share
 
@@ -291,10 +299,7 @@ class EmbedMatMulSource(SourceLayer):
         ct = matmul_plain_cipher(
             self._a.e_minus_psi_peer.T, enc_gz_at_a, parallel=self.parallel
         )
-        xi = he2ss_split(
-            ct, a, "B", ch, f"{tag}.bwd.eTgZ", cfg.grad_mask_scale,
-            parallel=self.parallel,
-        )
+        xi = self._he2ss(ct, a, "B", f"{tag}.bwd.eTgZ", cfg.grad_mask_scale)
         e_t_gz_share = he2ss_receive(b, ch, f"{tag}.bwd.eTgZ")
         gw_b_minus_xi = self._b.psi.T @ grad_z + e_t_gz_share
 
@@ -329,9 +334,8 @@ class EmbedMatMulSource(SourceLayer):
             else:
                 touched[who] = None
                 enc_gq = rows.scatter_add_rows(state.flat_idx, num_rows=total)
-            rho[who] = he2ss_split(
-                enc_gq, me, peer.name, ch, f"{tag}.bwd.gQ_{who}", cfg.grad_mask_scale,
-                parallel=self.parallel,
+            rho[who] = self._he2ss(
+                enc_gq, me, peer.name, f"{tag}.bwd.gQ_{who}", cfg.grad_mask_scale
             )
             if use_delta:
                 touched[who + "_peer"] = ch.recv(peer.name, f"{tag}.bwd.touched_{who}")
@@ -396,8 +400,12 @@ class EmbedMatMulSource(SourceLayer):
         use_delta = pa["touched_own"] is not None
         self._refresh(b, a, f"{tag}.upd.V_A", self._b.v_peer, "enc_v_own", self._a)
         self._refresh(a, b, f"{tag}.upd.V_B", self._a.v_peer, "enc_v_own", self._b)
-        self._refresh(a, b, f"{tag}.upd.U_A", self._a.u, "enc_u_peer", self._b)
-        self._refresh(b, a, f"{tag}.upd.U_B", self._b.u, "enc_u_peer", self._a)
+        self._refresh(
+            a, b, f"{tag}.upd.U_A", self._a.u, "enc_u_peer", self._b, packed=True
+        )
+        self._refresh(
+            b, a, f"{tag}.upd.U_B", self._b.u, "enc_u_peer", self._a, packed=True
+        )
         if not use_delta:
             self._refresh(b, a, f"{tag}.upd.T_A", self._b.t_peer, "enc_t_own", self._a)
             self._refresh(a, b, f"{tag}.upd.T_B", self._a.t_peer, "enc_t_own", self._b)
@@ -421,10 +429,14 @@ class EmbedMatMulSource(SourceLayer):
         plain: np.ndarray,
         attr: str,
         target_state: _EmbedState,
+        packed: bool = False,
     ) -> None:
-        fresh = CryptoTensor.encrypt(
-            sender.public_key, plain, obfuscate=True, parallel=self.parallel
-        )
+        if packed:
+            fresh: object = self._encrypt_piece(sender.public_key, plain)
+        else:
+            fresh = CryptoTensor.encrypt(
+                sender.public_key, plain, obfuscate=True, parallel=self.parallel
+            )
         self.ctx.channel.send(
             sender.name, receiver.name, tag, fresh, MessageKind.CIPHERTEXT
         )

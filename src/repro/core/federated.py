@@ -63,6 +63,10 @@ class SourceLayer:
     """
 
     name: str = "source"
+    # Set by concrete layers: protocol config, per-layer ParallelContext,
+    # the federation context and the layer's output width.
+    parallel = None
+    out_dim: int = 0
 
     def forward(self, batch: object) -> np.ndarray:
         raise NotImplementedError
@@ -78,6 +82,80 @@ class SourceLayer:
 
     def zero_pending(self) -> None:
         raise NotImplementedError
+
+    # ------------------------------------------------------- packing policy
+    #
+    # Shared by every source layer so the MatMul and Embed-MatMul protocols
+    # cannot silently diverge on layout parameters.  Gated by
+    # ``VFLConfig.packing``; see repro.crypto.packing for the subsystem.
+
+    # Accumulation-depth floor for slot budgets.  Backward transfers
+    # (``X.T @ [[grad_Z]]``, ``psi.T @ [[grad_Z]]``) contract over the
+    # *batch* dimension, which is unknown when a layout is fixed at
+    # init/refresh time — so every layout budgets guard bits for
+    # contractions up to this depth on top of the layer's own widest
+    # feature dimension.
+    PACKING_DEPTH_FLOOR: int = 4096
+
+    def _packing_contraction(self) -> int:
+        """The layer's widest forward contraction dimension (override)."""
+        raise NotImplementedError
+
+    def _pack_layout(self, public_key):
+        """Slot layout for ciphertexts under ``public_key`` (None = off).
+
+        Derived deterministically from the config and the key, so both
+        parties agree without negotiation; the depth budget covers the
+        layer's contractions and batch-deep backward transfers up to
+        ``PACKING_DEPTH_FLOOR`` rows.
+        """
+        cfg = getattr(self, "_cfg", None)
+        if cfg is None or not getattr(cfg, "packing", False):
+            return None
+        from repro.crypto.packing import protocol_layout
+
+        return protocol_layout(
+            public_key,
+            mask_scale=max(cfg.mask_scale, cfg.grad_mask_scale),
+            acc_depth=max(self._packing_contraction(), self.PACKING_DEPTH_FLOOR),
+        )
+
+    def _piece_layout(self, public_key):
+        """Layout for resident weight pieces, or None when not a win.
+
+        Row-aligned lanes only pay when a row spans fewer ciphertexts than
+        values — for narrow outputs (e.g. ``out_dim == 1`` logistic
+        regression) the pieces stay per-element and the HE2SS transfers
+        still pack contiguously downstream.
+        """
+        layout = self._pack_layout(public_key)
+        if layout is not None and layout.ct_count(self.out_dim) < self.out_dim:
+            return layout
+        return None
+
+    def _encrypt_piece(self, public_key, array: np.ndarray):
+        """Encrypt a weight piece, packed along the output dim when it pays."""
+        from repro.crypto.crypto_tensor import CryptoTensor
+        from repro.crypto.packing import PackedCryptoTensor
+
+        layout = self._piece_layout(public_key)
+        if layout is not None:
+            return PackedCryptoTensor.encrypt(
+                public_key, array, layout, obfuscate=True, parallel=self.parallel
+            )
+        return CryptoTensor.encrypt(
+            public_key, array, obfuscate=True, parallel=self.parallel
+        )
+
+    def _he2ss(self, ciphertext, holder, owner_name: str, tag: str, scale: float):
+        """HE2SS send with this layer's packing policy applied to the wire."""
+        from repro.crypto.secret_sharing import he2ss_split
+
+        return he2ss_split(
+            ciphertext, holder, owner_name, self.ctx.channel, tag, scale,
+            parallel=self.parallel,
+            packing=self._pack_layout(ciphertext.public_key),
+        )
 
 
 class FederatedModule(Module):

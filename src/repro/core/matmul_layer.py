@@ -37,8 +37,9 @@ from repro.crypto.crypto_tensor import (
     sparse_matmul_cipher,
     sparse_t_matmul_cipher,
 )
+from repro.crypto.packing import PackedCryptoTensor
 from repro.crypto.parallel import ParallelContext
-from repro.crypto.secret_sharing import he2ss_receive, he2ss_split
+from repro.crypto.secret_sharing import he2ss_receive
 from repro.core.federated import FederatedParameter, SourceLayer
 from repro.tensor.sparse import CSRMatrix
 
@@ -61,10 +62,15 @@ def t_matmul_any(x: np.ndarray | CSRMatrix, g: np.ndarray) -> np.ndarray:
 
 def _matmul_cipher(
     x: np.ndarray | CSRMatrix,
-    ct: CryptoTensor,
+    ct: CryptoTensor | PackedCryptoTensor,
     parallel: ParallelContext | None = None,
-) -> CryptoTensor:
-    """``x @ [[v]]`` for dense or CSR ``x`` (homomorphic)."""
+) -> CryptoTensor | PackedCryptoTensor:
+    """``x @ [[v]]`` for dense or CSR ``x`` (homomorphic).
+
+    A packed ``[[v]]`` (lanes along the output dimension) yields a packed
+    product: each plaintext entry scales a whole row segment with one
+    exponentiation, the slot-count saving of the packing subsystem.
+    """
     if isinstance(x, CSRMatrix):
         return sparse_matmul_cipher(x, ct, parallel=parallel)
     return matmul_plain_cipher(np.asarray(x, dtype=np.float64), ct, parallel=parallel)
@@ -124,29 +130,36 @@ class MatMulSource(SourceLayer):
         self.in_a, self.in_b, self.out_dim = in_a, in_b, out_dim
         self._step = 0
         cfg = ctx.config
+        self._cfg = cfg
         a, b, ch = ctx.A, ctx.B, ctx.channel
         piece_std = init_scale / np.sqrt(2.0)
         # Figure 6 lines 1-4: A draws U_A and V_B; B draws U_B and V_A; each
         # encrypts the V piece it drew under its *own* key and ships it.
+        # With packing on, the V pieces travel (and are later consumed by
+        # the forward matmul) with ``slots`` lanes per ciphertext.
         u_a = a.rng.normal(0.0, piece_std, size=(in_a, out_dim))
         v_b = a.rng.normal(0.0, piece_std, size=(in_b, out_dim))
         u_b = b.rng.normal(0.0, piece_std, size=(in_b, out_dim))
         v_a = b.rng.normal(0.0, piece_std, size=(in_a, out_dim))
         ch.send(
             a.name, b.name, f"{name}.init.encV_B",
-            CryptoTensor.encrypt(a.public_key, v_b, obfuscate=True, parallel=parallel),
+            self._encrypt_piece(a.public_key, v_b),
             MessageKind.CIPHERTEXT,
         )
         ch.send(
             b.name, a.name, f"{name}.init.encV_A",
-            CryptoTensor.encrypt(b.public_key, v_a, obfuscate=True, parallel=parallel),
+            self._encrypt_piece(b.public_key, v_a),
             MessageKind.CIPHERTEXT,
         )
         enc_v_a = ch.recv(a.name, f"{name}.init.encV_A")
         enc_v_b = ch.recv(b.name, f"{name}.init.encV_B")
         self._a = _PieceState(u=u_a, v_peer=v_b, enc_v_own=enc_v_a)
         self._b = _PieceState(u=u_b, v_peer=v_a, enc_v_own=enc_v_b)
-        self._cfg = cfg
+
+    # ------------------------------------------------------------------ packing
+
+    def _packing_contraction(self) -> int:
+        return max(self.in_a, self.in_b, 2)
 
     # ------------------------------------------------------------------ forward
 
@@ -166,14 +179,10 @@ class MatMulSource(SourceLayer):
             self._b.x_cache = x_b
         # Line 5-6 at A: [[X_A V_A]] -> <eps_A, X_A V_A - eps_A>.
         ct_a = _matmul_cipher(x_a, self._a.enc_v_own, parallel=self.parallel)
-        eps_a = he2ss_split(
-            ct_a, a, "B", ch, f"{tag}.fwd.XV_A", cfg.mask_scale, parallel=self.parallel
-        )
+        eps_a = self._he2ss(ct_a, a, "B", f"{tag}.fwd.XV_A", cfg.mask_scale)
         # Symmetric at B.
         ct_b = _matmul_cipher(x_b, self._b.enc_v_own, parallel=self.parallel)
-        eps_b = he2ss_split(
-            ct_b, b, "A", ch, f"{tag}.fwd.XV_B", cfg.mask_scale, parallel=self.parallel
-        )
+        eps_b = self._he2ss(ct_b, b, "A", f"{tag}.fwd.XV_B", cfg.mask_scale)
         xv_b_share = he2ss_receive(a, ch, f"{tag}.fwd.XV_B")  # X_B V_B - eps_B
         xv_a_share = he2ss_receive(b, ch, f"{tag}.fwd.XV_A")  # X_A V_A - eps_A
         # Line 7: per-party output shares.
@@ -200,13 +209,9 @@ class MatMulSource(SourceLayer):
             self._a.x_cache = x_a
             self._b.x_cache = x_b
         ct_a = _matmul_cipher(x_a, self._a.enc_v_own, parallel=self.parallel)
-        eps_a = he2ss_split(
-            ct_a, a, "B", ch, f"{tag}.fwd.XV_A", cfg.mask_scale, parallel=self.parallel
-        )
+        eps_a = self._he2ss(ct_a, a, "B", f"{tag}.fwd.XV_A", cfg.mask_scale)
         ct_b = _matmul_cipher(x_b, self._b.enc_v_own, parallel=self.parallel)
-        eps_b = he2ss_split(
-            ct_b, b, "A", ch, f"{tag}.fwd.XV_B", cfg.mask_scale, parallel=self.parallel
-        )
+        eps_b = self._he2ss(ct_b, b, "A", f"{tag}.fwd.XV_B", cfg.mask_scale)
         xv_b_share = he2ss_receive(a, ch, f"{tag}.fwd.XV_B")
         xv_a_share = he2ss_receive(b, ch, f"{tag}.fwd.XV_A")
         z_a = matmul_any(x_a, self._a.u) + eps_a + xv_b_share
@@ -247,10 +252,7 @@ class MatMulSource(SourceLayer):
             support = None
             enc_gw = _t_matmul_cipher(x_a, enc_gz_at_a, parallel=self.parallel)
         # Line 10: <phi, grad_W_A - phi>.
-        phi = he2ss_split(
-            enc_gw, a, "B", ch, f"{tag}.bwd.gW_A", cfg.grad_mask_scale,
-            parallel=self.parallel,
-        )
+        phi = self._he2ss(enc_gw, a, "B", f"{tag}.bwd.gW_A", cfg.grad_mask_scale)
         support_at_b = ch.recv(b.name, f"{tag}.bwd.support") if use_delta else None
         gw_minus_phi = he2ss_receive(b, ch, f"{tag}.bwd.gW_A")
         self._a.pending = {"phi": phi, "support": support}
@@ -288,12 +290,31 @@ class MatMulSource(SourceLayer):
             self._b.u, self._b.vel_u, self._b.pending["gw_b"], lr, momentum, None
         )
         # Refresh A's cached [[V_A]]_B.
-        if support is None:
-            fresh = CryptoTensor.encrypt(
-                b.public_key, self._b.v_peer, obfuscate=True, parallel=self.parallel
-            )
+        layout = self._piece_layout(b.public_key)
+        packed_resident = isinstance(self._a.enc_v_own, PackedCryptoTensor)
+        if support is None or (layout is not None) != packed_resident:
+            # Full re-encrypt: the faithful Figure 6 refresh — and the one
+            # step that migrates the cached copy between packed and
+            # per-element forms when the packing knob flips mid-run
+            # (either direction).
+            fresh = self._encrypt_piece(b.public_key, self._b.v_peer)
             ch.send(b.name, a.name, f"{tag}.upd.encV_A", fresh, MessageKind.CIPHERTEXT)
             self._a.enc_v_own = ch.recv(a.name, f"{tag}.upd.encV_A")
+        elif packed_resident:
+            # Packed delta mode: lanes cannot be patched additively without
+            # spending guard bits every step, so B re-encrypts just the
+            # touched rows (same wire cost as an encrypted delta) and A
+            # swaps them into the packed copy.
+            payload = PackedCryptoTensor.encrypt(
+                b.public_key,
+                self._b.v_peer[self._b.pending["support"]],
+                layout,
+                obfuscate=True,
+                parallel=self.parallel,
+            )
+            ch.send(b.name, a.name, f"{tag}.upd.dV_A", payload, MessageKind.CIPHERTEXT)
+            fresh_rows = ch.recv(a.name, f"{tag}.upd.dV_A")
+            self._a.enc_v_own.set_rows(support, fresh_rows)
         else:
             delta = self._b.v_peer[self._b.pending["support"]] - v_a_before[
                 self._b.pending["support"]

@@ -45,6 +45,11 @@ class TrainConfig:
     ``blinding_pool_per_epoch`` pre-computes that many ``r^n`` obfuscation
     blinders per party key at each epoch boundary (off the hot path), so
     in-epoch encryptions only pay a mulmod for re-randomisation.
+    ``packing`` overrides every source layer's
+    :attr:`~repro.comm.party.VFLConfig.packing` knob for this run (``None``
+    leaves the federation config as built): SIMD-slot ciphertext batching
+    cuts ciphertext count, blinding exponentiations and wire bytes by the
+    slot factor on forward transfers and share refreshes.
     """
 
     epochs: int = 10
@@ -54,6 +59,7 @@ class TrainConfig:
     seed: int = 0
     parallel_workers: int = 0
     blinding_pool_per_epoch: int = 0
+    packing: bool | None = None
 
 
 @dataclass
@@ -88,6 +94,8 @@ def train_federated(
     rng = np.random.default_rng(config.seed)
     metric_name = "auc" if train_data.n_classes == 2 else "accuracy"
     history = History(metric_name=metric_name)
+    if config.packing is not None:
+        _set_packing(model, config.packing)
     if config.parallel_workers >= 2:
         engine = use_parallel(ParallelContext(workers=config.parallel_workers))
     else:
@@ -115,6 +123,21 @@ def train_federated(
                     evaluate_federated(model, test_data, config.batch_size)[metric_name]
                 )
     return history
+
+
+def _set_packing(model: FederatedModule, enabled: bool) -> None:
+    """Flip the packing knob on every federation config the model uses.
+
+    Layers consult their ``VFLConfig`` at transfer/refresh time, so the
+    switch takes effect from the next message on — encrypted weight copies
+    upgrade to packed form at their next share refresh.
+    """
+    seen: set[int] = set()
+    for layer in model.source_layers():
+        cfg = getattr(getattr(layer, "ctx", None), "config", None)
+        if cfg is not None and id(cfg) not in seen and hasattr(cfg, "packing"):
+            seen.add(id(cfg))
+            cfg.packing = enabled
 
 
 def _prefill_blinding(

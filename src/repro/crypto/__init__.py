@@ -25,6 +25,13 @@ from repro.crypto.crypto_tensor import (
     sparse_t_matmul_cipher,
 )
 from repro.crypto.encoding import EncodedNumber
+from repro.crypto.packing import (
+    PackedCryptoTensor,
+    SlotLayout,
+    pack_matmul_plain_cipher,
+    pack_sparse_matmul_cipher,
+    protocol_layout,
+)
 from repro.crypto.parallel import (
     ParallelContext,
     get_default_context,
@@ -56,6 +63,11 @@ __all__ = [
     "encode_ring",
     "share_ring",
     "CryptoTensor",
+    "PackedCryptoTensor",
+    "SlotLayout",
+    "protocol_layout",
+    "pack_matmul_plain_cipher",
+    "pack_sparse_matmul_cipher",
     "TENSOR_EXPONENT",
     "PLAIN_EXPONENT",
     "matmul_plain_cipher",

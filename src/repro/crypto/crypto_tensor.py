@@ -275,6 +275,24 @@ class CryptoTensor:
             self.public_key, _wrap(self.public_key, out, exps, self.data.shape)
         )
 
+    def pack(
+        self,
+        layout: object,
+        value_bits: int | None = None,
+        parallel: ParallelContext | None = None,
+    ) -> "object":
+        """Pack ``slots`` values per ciphertext (see :mod:`repro.crypto.packing`).
+
+        The homomorphic rotate/scatter kernel shifts each element into its
+        lane, cutting ciphertext count and wire bytes by the layout's slot
+        factor; decryption of the packed tensor decodes bit-identically.
+        """
+        from repro.crypto.packing import PackedCryptoTensor
+
+        return PackedCryptoTensor.pack(
+            self, layout, value_bits=value_bits, parallel=parallel
+        )
+
     @staticmethod
     def vstack(tensors: Iterable["CryptoTensor"]) -> "CryptoTensor":
         tensors = list(tensors)
@@ -305,7 +323,18 @@ def _aligned_flat(ct: CryptoTensor, cdata: np.ndarray) -> tuple[list[int], int]:
 def matmul_plain_cipher(
     plain: np.ndarray, ct: CryptoTensor, parallel: ParallelContext | None = None
 ) -> CryptoTensor:
-    """Dense ``plain (s x m) @ cipher (m x k)`` with zero-skipping."""
+    """Dense ``plain (s x m) @ cipher (m x k)`` with zero-skipping.
+
+    Accepts a :class:`~repro.crypto.packing.PackedCryptoTensor` right
+    operand too (weights packed along the output dimension), in which case
+    the product stays packed.
+    """
+    if not isinstance(ct, CryptoTensor):
+        from repro.crypto import packing
+
+        if isinstance(ct, packing.PackedCryptoTensor):
+            return packing.pack_matmul_plain_cipher(plain, ct, parallel=parallel)
+        raise TypeError(f"expected a CryptoTensor, got {type(ct).__name__}")
     plain = np.atleast_2d(np.asarray(plain, dtype=np.float64))
     cdata = ct.data if ct.data.ndim == 2 else ct.data.reshape(-1, 1)
     s, m = plain.shape
@@ -337,7 +366,17 @@ def matmul_cipher_plain(
 def sparse_matmul_cipher(
     sparse: object, ct: CryptoTensor, parallel: ParallelContext | None = None
 ) -> CryptoTensor:
-    """CSR ``plain @ cipher``: cost proportional to nnz, never touches zeros."""
+    """CSR ``plain @ cipher``: cost proportional to nnz, never touches zeros.
+
+    Packed right operands are routed to the packed kernel (product stays
+    packed along the output dimension).
+    """
+    if not isinstance(ct, CryptoTensor):
+        from repro.crypto import packing
+
+        if isinstance(ct, packing.PackedCryptoTensor):
+            return packing.pack_sparse_matmul_cipher(sparse, ct, parallel=parallel)
+        raise TypeError(f"expected a CryptoTensor, got {type(ct).__name__}")
     cdata = ct.data if ct.data.ndim == 2 else ct.data.reshape(-1, 1)
     m2, k = cdata.shape
     pk = ct.public_key

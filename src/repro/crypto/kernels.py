@@ -40,7 +40,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.crypto.encoding import EncodedNumber
-from repro.crypto.math_utils import invmod
+from repro.crypto.math_utils import invmod, powmod
 from repro.crypto.parallel import ParallelContext, get_default_context
 
 __all__ = [
@@ -109,7 +109,7 @@ def raw_mul_many(
         elif m == 1:
             append(c)
         else:
-            append(pow(c, m, nsq))
+            append(powmod(c, m, nsq))
     return out
 
 
@@ -192,8 +192,8 @@ def decrypt_flat(
     uniform = isinstance(exponents, int)
     out = np.empty(len(cts), dtype=np.float64)
     for i, c in enumerate(cts):
-        mp = ((pow(c, pm1, psq) - 1) // p * hp) % p
-        mq = ((pow(c, qm1, qsq) - 1) // q * hq) % q
+        mp = ((powmod(c, pm1, psq) - 1) // p * hp) % p
+        mq = ((powmod(c, qm1, qsq) - 1) // q * hq) % q
         m = mp + ((mq - mp) * p_inv % q) * p
         if m <= max_int:
             mantissa = m

@@ -1,0 +1,1114 @@
+"""SIMD-slot Paillier batching: many fixed-point values per ciphertext.
+
+A 2048-bit Paillier plaintext has room for far more than one 72-bit
+fixed-point value, yet the per-element :class:`~repro.crypto.crypto_tensor.
+CryptoTensor` spends one whole ciphertext (~512 wire bytes, one blinding
+exponentiation, one CRT decryption) per tensor entry.  This module packs
+``slots`` values into the binary expansion of a single plaintext::
+
+    P  =  sum_i  m_i * 2**(slot_bits * i)          (signed mantissas m_i)
+
+so one ciphertext carries one *row segment* of a tensor, and the additive
+homomorphism acts lane-wise:
+
+* ``[[P]] + [[Q]]`` adds every lane at once (one mulmod instead of
+  ``slots``);
+* ``c * [[P]]`` multiplies every lane by the same plaintext scalar (one
+  exponentiation instead of ``slots``) — which is exactly the access
+  pattern of ``plain @ cipher`` matmuls when the *output* dimension is
+  packed: ``out[i, :] = sum_t  x[i, t] * cipher_row_t``;
+* a "rotate/scatter" kernel (:func:`pack_rows_flat`) lifts an existing
+  per-element ciphertext batch into packed form homomorphically
+  (``prod_i ct_i ** 2**(slot_bits * i)``), so already-computed tensors can
+  be packed just before hitting the wire.
+
+Lane layout and overflow safety
+-------------------------------
+Signed lanes use a borrow-propagating split (two's-complement style): as
+long as every lane value satisfies ``|m_i| < 2**(slot_bits - 1)``, the
+packed integer determines the lanes uniquely — extract ``P mod 2**B`` as a
+signed residue, subtract, shift, repeat.  Lane widths are therefore
+budgeted up front by :meth:`SlotLayout.design`::
+
+    slot_bits = max(value_bits + plain_bits + log2(acc_depth),   # products
+                    mask_mantissa_bits)                          # HE2SS masks
+                + carry + sign
+
+i.e. *twice* the per-operand fixed-point precision plus overflow guard
+bits derived from the key size and the accumulation depth.  Every packed
+tensor additionally tracks a conservative per-lane magnitude bound
+(``value_bits``); any operation that could push a lane across the guard
+band raises :class:`OverflowError` *before* corrupting neighbouring lanes,
+and the decoder double-checks that the borrow chain terminates at zero.
+
+By default lanes never span logical rows: a ``(rows, cols)`` tensor packs
+each row into ``ceil(cols / slots)`` ciphertexts, so row gather/scatter
+(embedding lookups, delta refreshes) and packed matmuls stay possible.
+Transfer-only tensors — HE2SS payloads that exist just to be shipped and
+decrypted — may instead pack ``contiguous=True``: one dense row-major lane
+stream with no per-row padding, which is what keeps column vectors (e.g.
+logistic-regression activations, ``out_dim == 1``) at the full ``slots``-
+fold reduction.
+
+What cannot be packed
+---------------------
+Paillier offers no homomorphic lane *extraction*: once packed, a tensor
+can only be decrypted as a whole (or re-encrypted per element by the key
+owner — :meth:`PackedCryptoTensor.unpack`).  ``cipher @ plain`` products
+and transposes need per-lane multipliers and are likewise impossible; the
+protocol layers keep those tensors in per-element form and pack only where
+the slot structure lines up (forward matmuls against weight pieces packed
+along the output dimension, and any HE2SS transfer just before the wire).
+
+All arithmetic mirrors the flat kernels bit-for-bit (same mantissa
+encodings, same exponent alignment), so packed pipelines decode to the
+*identical* float64 arrays — the equivalence suite pins this.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.crypto import kernels
+from repro.crypto.crypto_tensor import CryptoTensor
+from repro.crypto.kernels import PLAIN_EXPONENT, TENSOR_EXPONENT, raw_mul_many
+from repro.crypto.math_utils import invmod, powmod
+from repro.crypto.paillier import EncryptedNumber, PaillierPublicKey
+from repro.crypto.parallel import ParallelContext
+
+__all__ = [
+    "SlotLayout",
+    "PackedCryptoTensor",
+    "protocol_layout",
+    "pack_encode_flat",
+    "pack_encrypt_flat",
+    "pack_decrypt_flat",
+    "pack_rows_flat",
+    "pack_add_flat",
+    "pack_neg_flat",
+    "pack_scalar_mul_flat",
+    "pack_shift_flat",
+    "pack_matmul_plain_cipher_flat",
+    "pack_sparse_matmul_cipher_flat",
+    "pack_matmul_plain_cipher",
+    "pack_sparse_matmul_cipher",
+]
+
+
+def _mag_bits(bound: float) -> int:
+    """Bits needed for magnitudes up to ``bound`` (at least 1)."""
+    return max(1, math.ceil(math.log2(bound)) + 1)
+
+
+def _acc_bits(depth: int) -> int:
+    """Headroom bits for summing ``depth`` bounded terms: ceil(log2(depth))."""
+    return max(0, int(depth - 1).bit_length())
+
+
+def _signed_mantissa(value: float, exponent: int) -> int:
+    """Signed fixed-point mantissa of ``value`` at ``exponent``.
+
+    Same rounding as the flat kernels' encoder, but *signed* — packing
+    needs true integers, not residues mod n.
+    """
+    if not math.isfinite(value):
+        raise ValueError(f"cannot encode non-finite value {value!r}")
+    try:
+        return int(round(math.ldexp(value, -exponent)))
+    except OverflowError:
+        raise OverflowError(
+            f"scalar {value} at exponent {exponent} exceeds plaintext bound"
+        ) from None
+
+
+@dataclass(frozen=True)
+class SlotLayout:
+    """The wire format of one packed ciphertext.
+
+    Attributes:
+        slot_bits: full width of one lane; lane values must stay strictly
+            inside ``(-2**(slot_bits-1), 2**(slot_bits-1))``.
+        slots: lanes per ciphertext.
+        key_bits: modulus size the layout was derived for (sender and
+            receiver must agree on all four fields — in-process transport
+            ships the layout with the tensor; a networked deployment would
+            serialise these ints in the message header).
+        base_value_bits: the per-lane *operand* budget the layout was
+            designed around (``|mantissa| < 2**base_value_bits``); used as
+            the assumed bound when packing opaque ciphertexts whose true
+            magnitudes are not visible.
+    """
+
+    slot_bits: int
+    slots: int
+    key_bits: int
+    base_value_bits: int
+
+    def __post_init__(self) -> None:
+        if self.slots < 1:
+            raise ValueError("a layout needs at least one slot")
+        if not 0 < self.base_value_bits < self.slot_bits:
+            raise ValueError("base_value_bits must leave guard room in the slot")
+        if self.slot_bits * self.slots > self.key_bits - 2:
+            raise ValueError(
+                f"{self.slots} x {self.slot_bits}-bit slots do not fit a "
+                f"{self.key_bits}-bit key's plaintext space"
+            )
+
+    @property
+    def lane_cap_bits(self) -> int:
+        """Hard per-lane magnitude cap (one bit reserved for the sign)."""
+        return self.slot_bits - 1
+
+    def ct_count(self, cols: int) -> int:
+        """Packed ciphertexts per logical row of ``cols`` values."""
+        return -(-cols // self.slots)
+
+    def check_key(self, public_key: PaillierPublicKey) -> None:
+        """Verify the packed integer fits this key's exact guard band."""
+        cap = public_key.max_int.bit_length() - 1
+        if self.slot_bits * self.slots > cap:
+            raise ValueError(
+                f"layout needs {self.slot_bits * self.slots} plaintext bits "
+                f"but the {public_key.key_bits}-bit key offers {cap}"
+            )
+
+    @classmethod
+    def design(
+        cls,
+        public_key: PaillierPublicKey,
+        *,
+        value_mag_bits: int = 8,
+        plain_mag_bits: int = 8,
+        acc_depth: int = 1024,
+        mask_scale: float = 2.0**16,
+        value_frac_bits: int = -TENSOR_EXPONENT,
+        plain_frac_bits: int = -PLAIN_EXPONENT,
+    ) -> "SlotLayout":
+        """Derive the slot width from precision, key size and depth.
+
+        ``value_*`` bounds the packed tensor entries (``|v| < 2**mag`` at
+        ``2**-frac`` resolution), ``plain_*`` the scalars they will be
+        multiplied by, ``acc_depth`` how many such products one lane may
+        accumulate, and ``mask_scale`` the largest HE2SS mask that will be
+        added before the wire.  Raises :class:`ValueError` when even one
+        slot does not fit the key.
+        """
+        if acc_depth < 1:
+            raise ValueError("acc_depth must be at least 1")
+        base = value_frac_bits + value_mag_bits
+        product = base + plain_frac_bits + plain_mag_bits
+        mask = value_frac_bits + plain_frac_bits + _mag_bits(mask_scale)
+        # +1 for the mask-add carry, +1 for the sign.
+        slot_bits = max(product + _acc_bits(acc_depth), mask) + 2
+        cap = public_key.max_int.bit_length() - 1
+        slots = cap // slot_bits
+        if slots < 1:
+            raise ValueError(
+                f"a {slot_bits}-bit slot does not fit the "
+                f"{public_key.key_bits}-bit key's {cap} plaintext bits"
+            )
+        return cls(
+            slot_bits=slot_bits,
+            slots=slots,
+            key_bits=public_key.key_bits,
+            base_value_bits=base,
+        )
+
+
+def protocol_layout(
+    public_key: PaillierPublicKey,
+    mask_scale: float,
+    acc_depth: int,
+    *,
+    value_mag_bits: int = 8,
+    plain_mag_bits: int | None = None,
+) -> SlotLayout | None:
+    """The layout a protocol layer should use under ``public_key``.
+
+    ``plain_mag_bits`` defaults to covering ``mask_scale``-sized plaintext
+    operands: the Embed-MatMul layer multiplies HE2SS *share pieces*
+    (mask-magnitude by construction) against packed weight pieces, so the
+    plaintext budget must absorb the mask scale, not just the data scale.
+
+    Returns ``None`` when the key is too small for packing to pay off
+    (fewer than two slots) — callers fall back to per-element ciphertexts.
+    """
+    if plain_mag_bits is None:
+        plain_mag_bits = max(8, _mag_bits(mask_scale) + 2)
+    try:
+        layout = SlotLayout.design(
+            public_key,
+            value_mag_bits=value_mag_bits,
+            plain_mag_bits=plain_mag_bits,
+            acc_depth=acc_depth,
+            mask_scale=mask_scale,
+        )
+    except ValueError:
+        return None
+    return layout if layout.slots >= 2 else None
+
+
+# ---------------------------------------------------------------------------
+# Flat packed kernels.  Like repro.crypto.kernels, these operate on raw
+# ``list[int]`` residues; shape/exponent/bound metadata lives on the caller.
+
+
+def pack_encode_flat(
+    public_key: PaillierPublicKey,
+    values: np.ndarray,
+    layout: SlotLayout,
+    exponent: int,
+    encode_exponent: int | None = None,
+    natural: bool = False,
+) -> tuple[list[int], int]:
+    """Pack a 2-D float array into plaintext residues, row by row.
+
+    Each value is encoded as a signed mantissa at ``encode_exponent``
+    (default: ``exponent``) and shifted to ``exponent`` — mirroring how the
+    unpacked add kernel aligns a coarser operand onto a finer ciphertext,
+    so packed pipelines decode bit-identically.  ``natural=True`` instead
+    encodes every value at its own float-natural exponent (the unpacked
+    ``add_plain`` convention); ``exponent`` must then be at least as fine
+    as the finest natural exponent involved.  Returns the residues
+    (``rows * ct_count(cols)`` of them) and the largest lane magnitude in
+    bits (the tensor's initial guard-band bound).
+    """
+    values = np.atleast_2d(np.asarray(values, dtype=np.float64))
+    if natural and encode_exponent is not None:
+        raise ValueError("natural encoding picks its own per-value exponents")
+    if encode_exponent is None:
+        encode_exponent = exponent
+    if not natural and encode_exponent < exponent:
+        raise ValueError("encode_exponent must be no finer than the target exponent")
+    n = public_key.n
+    slot_bits, slots = layout.slot_bits, layout.slots
+    cap = layout.lane_cap_bits
+    cache: dict[float, int] = {}
+    max_bits = 1
+    out: list[int] = []
+    for row in values:
+        lanes = row.tolist()
+        for start in range(0, len(lanes), slots):
+            packed = 0
+            for j, v in enumerate(lanes[start : start + slots]):
+                m = cache.get(v)
+                if m is None:
+                    ev = (
+                        kernels._default_float_exponent(v)
+                        if natural
+                        else encode_exponent
+                    )
+                    m = _signed_mantissa(v, ev) << (ev - exponent)
+                    bits = m.bit_length() if m >= 0 else (-m).bit_length()
+                    if bits > cap:
+                        raise OverflowError(
+                            f"value {v} needs a {bits}-bit lane but the layout "
+                            f"provides {cap} magnitude bits per {slot_bits}-bit slot"
+                        )
+                    cache[v] = m
+                packed += m << (slot_bits * j)
+            out.append(packed % n)
+    for m in cache.values():
+        bits = m.bit_length() if m >= 0 else (-m).bit_length()
+        if bits > max_bits:
+            max_bits = bits
+    return out, max_bits
+
+
+def pack_encrypt_flat(
+    public_key: PaillierPublicKey,
+    packed_residues: Sequence[int],
+    obfuscate: bool = True,
+    parallel: ParallelContext | None = None,
+) -> list[int]:
+    """Encrypt packed plaintext residues (``g = n + 1`` shortcut + pool)."""
+    n = public_key.n
+    nsq = public_key.nsquare
+    cts = [(1 + p * n) % nsq for p in packed_residues]
+    if obfuscate:
+        blinders = public_key.blinding_factors(len(cts), parallel=parallel)
+        cts = [(c * b) % nsq for c, b in zip(cts, blinders)]
+    return cts
+
+
+def _split_lanes(packed: int, layout: SlotLayout, count: int) -> list[int]:
+    """Borrow-propagating signed lane extraction; loud on a dirty carry chain."""
+    slot_bits = layout.slot_bits
+    full = 1 << slot_bits
+    half = full >> 1
+    mask = full - 1
+    lanes: list[int] = []
+    for _ in range(count):
+        r = packed & mask
+        if r >= half:
+            r -= full
+        lanes.append(r)
+        packed = (packed - r) >> slot_bits
+    if packed != 0:
+        raise OverflowError(
+            "packed lanes overflowed the slot guard band (borrow chain did "
+            "not terminate); widen slot_bits or reduce accumulation depth"
+        )
+    return lanes
+
+
+def pack_decrypt_flat(
+    private_key,
+    cts: Sequence[int],
+    layout: SlotLayout,
+    rows: int,
+    cols: int,
+    exponent: int,
+) -> np.ndarray:
+    """CRT-decrypt a packed batch and split lanes back to float64.
+
+    Mirrors the unpacked ``decrypt_flat`` arithmetic exactly (same CRT,
+    same guard-band check, same ``ldexp`` decode), then runs the signed
+    borrow split per ciphertext.
+    """
+    pk = private_key.public_key
+    n, max_int = pk.n, pk.max_int
+    p, q = private_key.p, private_key.q
+    psq, qsq = private_key.psquare, private_key.qsquare
+    hp, hq = private_key.hp, private_key.hq
+    p_inv = private_key.p_inverse
+    pm1, qm1 = p - 1, q - 1
+    cpr = layout.ct_count(cols)
+    if len(cts) != rows * cpr:
+        raise ValueError("ciphertext count does not match the packed shape")
+    out = np.empty((rows, cols), dtype=np.float64)
+    for r in range(rows):
+        col = 0
+        for b in range(cpr):
+            c = cts[r * cpr + b]
+            mp = ((powmod(c, pm1, psq) - 1) // p * hp) % p
+            mq = ((powmod(c, qm1, qsq) - 1) // q * hq) % q
+            m = mp + ((mq - mp) * p_inv % q) * p
+            if m <= max_int:
+                packed = m
+            elif m >= n - max_int:
+                packed = m - n
+            else:
+                raise OverflowError(
+                    "packed encoding fell in the overflow guard band; "
+                    "increase the key size or reduce tensor magnitudes"
+                )
+            lanes = _split_lanes(packed, layout, min(layout.slots, cols - col))
+            for lane in lanes:
+                e = exponent
+                while abs(lane) > 2**1000:  # keep ldexp inside float range
+                    lane >>= 64
+                    e += 64
+                out[r, col] = math.ldexp(float(lane), e)
+                col += 1
+    return out
+
+
+def pack_rows_flat(
+    public_key: PaillierPublicKey,
+    cts: Sequence[int],
+    rows: int,
+    cols: int,
+    layout: SlotLayout,
+    parallel: ParallelContext | None = None,
+) -> list[int]:
+    """Homomorphic rotate/scatter: lift per-element ciphertexts into lanes.
+
+    ``cts`` is a row-major ``rows x cols`` batch at one uniform exponent;
+    each output ciphertext is ``prod_j ct_j ** 2**(slot_bits * j)`` over a
+    run of ``slots`` elements.  Lane 0 is free (exponent 1); higher lanes
+    cost one modexp each with exponents up to ``slot_bits * (slots - 1)``
+    bits — still far below a blinding exponentiation.
+    """
+    if len(cts) != rows * cols:
+        raise ValueError("ciphertext count does not match rows x cols")
+    nsq = public_key.nsquare
+    slot_bits, slots = layout.slot_bits, layout.slots
+    jobs: list[tuple[int, int]] = []
+    for r in range(rows):
+        base = r * cols
+        for start in range(0, cols, slots):
+            for j in range(min(slots, cols - start)):
+                jobs.append((cts[base + start + j], 1 << (slot_bits * j)))
+    powered = raw_mul_many(public_key, jobs, parallel)
+    out: list[int] = []
+    pos = 0
+    for r in range(rows):
+        for start in range(0, cols, slots):
+            width = min(slots, cols - start)
+            acc = 1
+            for j in range(width):
+                acc = (acc * powered[pos + j]) % nsq
+            pos += width
+            out.append(acc)
+    return out
+
+
+def pack_add_flat(
+    public_key: PaillierPublicKey, a_cts: Sequence[int], b_cts: Sequence[int]
+) -> list[int]:
+    """Lane-wise homomorphic add: one mulmod covers every slot."""
+    nsq = public_key.nsquare
+    return [(a * b) % nsq for a, b in zip(a_cts, b_cts)]
+
+
+def pack_neg_flat(public_key: PaillierPublicKey, cts: Sequence[int]) -> list[int]:
+    """Negate every lane (modular inverse of the packed ciphertext)."""
+    nsq = public_key.nsquare
+    return [invmod(c, nsq) for c in cts]
+
+
+def pack_scalar_mul_flat(
+    public_key: PaillierPublicKey,
+    cts: Sequence[int],
+    mantissa: int,
+    parallel: ParallelContext | None = None,
+) -> list[int]:
+    """Multiply every lane of every ciphertext by one plaintext mantissa.
+
+    ``mantissa`` is a residue mod n; the raw-mul kernel's inversion trick
+    keeps negative multipliers cheap, and the borrow-splitting decoder
+    recovers the per-lane signed products exactly.
+    """
+    return raw_mul_many(public_key, [(c, mantissa) for c in cts], parallel)
+
+
+def pack_shift_flat(
+    public_key: PaillierPublicKey,
+    cts: Sequence[int],
+    shift_bits: int,
+    parallel: ParallelContext | None = None,
+) -> list[int]:
+    """Re-express every lane at a ``shift_bits``-finer exponent."""
+    if shift_bits == 0:
+        return list(cts)
+    if shift_bits < 0:
+        raise ValueError("cannot coarsen a ciphertext exponent losslessly")
+    return pack_scalar_mul_flat(public_key, cts, 1 << shift_bits, parallel)
+
+
+def _encode_plain_dedup(
+    public_key: PaillierPublicKey, enc_cache: dict, v: float
+) -> tuple[int, int]:
+    """Residue + signed magnitude bits of a plaintext multiplier, cached."""
+    cached = enc_cache.get(v)
+    if cached is None:
+        signed = _signed_mantissa(v, PLAIN_EXPONENT)
+        bits = signed.bit_length() if signed >= 0 else (-signed).bit_length()
+        cached = (signed % public_key.n, bits)
+        enc_cache[v] = cached
+    return cached
+
+
+def _accumulate_blocks(
+    public_key: PaillierPublicKey,
+    cts: Sequence[int],
+    blocks: Sequence[tuple[int, int, Sequence[int]]],
+    out_rows: int,
+    cpr: int,
+    parallel: ParallelContext | None,
+) -> list[int]:
+    """Shared matmul core: power each cipher-row block once, scatter-mulmod.
+
+    ``blocks`` is ``(ct_base_index, mantissa_residue, output_rows)`` — one
+    entry per distinct (cipher row, plaintext value) pair, `cpr` packed
+    ciphertexts wide.  This is where the slot-count saving lands: the job
+    list is ``cpr`` long per block instead of the logical column count.
+    """
+    nsq = public_key.nsquare
+    jobs: list[tuple[int, int]] = []
+    for base, mant, _ in blocks:
+        for b in range(cpr):
+            jobs.append((cts[base + b], mant))
+    powered = raw_mul_many(public_key, jobs, parallel)
+    out = [1] * (out_rows * cpr)
+    pos = 0
+    for _, _, rows_for_block in blocks:
+        block = powered[pos : pos + cpr]
+        pos += cpr
+        for i in rows_for_block:
+            ob = i * cpr
+            for b in range(cpr):
+                out[ob + b] = (out[ob + b] * block[b]) % nsq
+    return out
+
+
+def pack_matmul_plain_cipher_flat(
+    public_key: PaillierPublicKey,
+    plain: np.ndarray,
+    cts: Sequence[int],
+    cpr: int,
+    exponent: int,
+    parallel: ParallelContext | None = None,
+) -> tuple[list[int], int, int, int]:
+    """Dense ``plain (s x m) @ packed-cipher (m rows x cpr cts)``.
+
+    The cipher rows are packed along the *output* dimension, so each
+    plaintext entry multiplies a whole row segment at once; the same
+    per-column raw-mul dedup as the unpacked kernel applies on top.
+
+    Returns ``(out_cts, prod_exponent, max_plain_bits, max_terms)`` — the
+    last two feed the caller's lane-overflow bookkeeping.
+    """
+    plain = np.asarray(plain, dtype=np.float64)
+    s, m = plain.shape
+    enc_cache: dict[float, tuple[int, int]] = {}
+    max_plain_bits = 1
+    blocks: list[tuple[int, int, list[int]]] = []
+    for t in range(m):
+        col = plain[:, t]
+        nz = np.nonzero(col)[0]
+        if not nz.size:
+            continue
+        by_value: dict[float, list[int]] = {}
+        for i in nz.tolist():
+            by_value.setdefault(float(col[i]), []).append(i)
+        for v, rows_for_value in by_value.items():
+            mant, bits = _encode_plain_dedup(public_key, enc_cache, v)
+            if bits > max_plain_bits:
+                max_plain_bits = bits
+            blocks.append((t * cpr, mant, rows_for_value))
+    out = _accumulate_blocks(public_key, cts, blocks, s, cpr, parallel)
+    max_terms = int(np.count_nonzero(plain, axis=1).max(initial=0))
+    return out, exponent + PLAIN_EXPONENT, max_plain_bits, max_terms
+
+
+def pack_sparse_matmul_cipher_flat(
+    public_key: PaillierPublicKey,
+    rows: Sequence[tuple[Sequence[int], Sequence[float]]],
+    m: int,
+    cts: Sequence[int],
+    cpr: int,
+    exponent: int,
+    parallel: ParallelContext | None = None,
+) -> tuple[list[int], int, int, int]:
+    """CSR ``plain @ packed-cipher`` with batch-wide ``(col, value)`` dedup."""
+    by_col_value: dict[tuple[int, float], list[int]] = {}
+    terms = [0] * len(rows)
+    for i, (cols, vals) in enumerate(rows):
+        for col, v in zip(cols, vals):
+            col = int(col)
+            if col >= m:
+                raise IndexError("sparse column index out of range")
+            fv = float(v)
+            if fv == 0.0:
+                continue
+            terms[i] += 1
+            by_col_value.setdefault((col, fv), []).append(i)
+    enc_cache: dict[float, tuple[int, int]] = {}
+    max_plain_bits = 1
+    blocks: list[tuple[int, int, list[int]]] = []
+    for (col, v), out_rows_for_block in by_col_value.items():
+        mant, bits = _encode_plain_dedup(public_key, enc_cache, v)
+        if bits > max_plain_bits:
+            max_plain_bits = bits
+        blocks.append((col * cpr, mant, out_rows_for_block))
+    out = _accumulate_blocks(public_key, cts, blocks, len(rows), cpr, parallel)
+    return out, exponent + PLAIN_EXPONENT, max_plain_bits, max(terms, default=0)
+
+
+# ---------------------------------------------------------------------------
+# The tensor wrapper.
+
+
+class PackedCryptoTensor:
+    """A 1-D or 2-D tensor of Paillier ciphertexts, ``slots`` lanes each.
+
+    Interops with :class:`CryptoTensor` (same exponent conventions, same
+    decrypt semantics); ``CryptoTensor.pack()`` lifts into this class and
+    :meth:`unpack` (key owner only) lowers back.  ``value_bits`` is the
+    conservative per-lane magnitude bound that makes guard-band overflow a
+    loud error instead of silent lane corruption.
+    """
+
+    # Make numpy defer mixed operations to our reflected methods.
+    __array_ufunc__ = None
+    __array_priority__ = 1100
+
+    __slots__ = (
+        "public_key", "layout", "cts", "shape", "exponent", "value_bits",
+        "contiguous",
+    )
+
+    def __init__(
+        self,
+        public_key: PaillierPublicKey,
+        layout: SlotLayout,
+        cts: list[int],
+        shape: tuple[int, ...],
+        exponent: int,
+        value_bits: int,
+        contiguous: bool = False,
+    ):
+        if len(shape) not in (1, 2):
+            raise ValueError("PackedCryptoTensor supports 1-D and 2-D shapes")
+        self.contiguous = contiguous
+        if contiguous:
+            size = int(np.prod(shape, dtype=np.int64))
+            expected = layout.ct_count(size)
+        else:
+            rows = 1 if len(shape) == 1 else shape[0]
+            expected = rows * layout.ct_count(shape[-1])
+        if len(cts) != expected:
+            raise ValueError("ciphertext count does not match shape and layout")
+        if value_bits > layout.lane_cap_bits:
+            raise OverflowError(
+                f"lane bound of {value_bits} bits exceeds the "
+                f"{layout.lane_cap_bits}-bit slot guard band"
+            )
+        self.public_key = public_key
+        self.layout = layout
+        self.cts = cts
+        self.shape = shape
+        self.exponent = exponent
+        self.value_bits = value_bits
+
+    # -- construction ---------------------------------------------------------
+
+    @classmethod
+    def encrypt(
+        cls,
+        public_key: PaillierPublicKey,
+        array: np.ndarray,
+        layout: SlotLayout,
+        exponent: int = TENSOR_EXPONENT,
+        obfuscate: bool = True,
+        parallel: ParallelContext | None = None,
+        contiguous: bool = False,
+    ) -> "PackedCryptoTensor":
+        """Encrypt a float array directly into packed form.
+
+        One blinding exponentiation per ``slots`` values — the encrypt-side
+        saving that makes packed share refreshes cheap.  ``contiguous``
+        lets lanes span logical rows (transfer-only tensors: maximum
+        density, but row ops and matmuls are then unavailable).
+        """
+        layout.check_key(public_key)
+        array = np.asarray(array, dtype=np.float64)
+        view = array.reshape(1, -1) if contiguous else np.atleast_2d(array)
+        packed, value_bits = pack_encode_flat(public_key, view, layout, exponent)
+        cts = pack_encrypt_flat(public_key, packed, obfuscate=obfuscate, parallel=parallel)
+        return cls(
+            public_key, layout, cts, array.shape, exponent, value_bits,
+            contiguous=contiguous,
+        )
+
+    @classmethod
+    def pack(
+        cls,
+        tensor: CryptoTensor,
+        layout: SlotLayout,
+        value_bits: int | None = None,
+        parallel: ParallelContext | None = None,
+        contiguous: bool = False,
+    ) -> "PackedCryptoTensor":
+        """Homomorphically pack an existing per-element ciphertext tensor.
+
+        The true lane magnitudes are invisible inside the ciphertexts, so
+        the caller promises a bound: ``value_bits`` defaults to the
+        layout's full guard band less the one-bit headroom an HE2SS mask
+        add needs.  A wrong promise is detected at decode time by the
+        borrow-chain check rather than silently.
+
+        ``contiguous=True`` packs row-major across row boundaries (one
+        dense lane stream) — right for tensors that only travel and get
+        decrypted, e.g. HE2SS transfers of column vectors, where row-
+        aligned lanes would waste almost every slot.
+        """
+        layout.check_key(tensor.public_key)
+        data = tensor.data if tensor.data.ndim == 2 else tensor.data.reshape(1, -1)
+        rows, cols = (1, data.size) if contiguous else data.shape
+        flat = data.ravel()
+        raw = [enc.ciphertext for enc in flat]
+        exps = [enc.exponent for enc in flat]
+        raw, exponent = kernels.align_flat(tensor.public_key, raw, exps)
+        cts = pack_rows_flat(tensor.public_key, raw, rows, cols, layout, parallel)
+        if value_bits is None:
+            value_bits = layout.lane_cap_bits - 1
+        return cls(
+            tensor.public_key, layout, cts, tensor.data.shape, exponent, value_bits,
+            contiguous=contiguous,
+        )
+
+    # -- shape plumbing -------------------------------------------------------
+
+    @property
+    def ndim(self) -> int:
+        return len(self.shape)
+
+    @property
+    def size(self) -> int:
+        """Logical element count (NOT the ciphertext count)."""
+        return int(np.prod(self.shape, dtype=np.int64))
+
+    @property
+    def rows(self) -> int:
+        return 1 if len(self.shape) == 1 else self.shape[0]
+
+    @property
+    def cols(self) -> int:
+        return self.shape[-1]
+
+    def _pack_view(self) -> tuple[int, int]:
+        """The (rows, cols) grid lanes are actually laid out on."""
+        if self.contiguous:
+            return 1, self.size
+        return self.rows, self.cols
+
+    @property
+    def ct_per_row(self) -> int:
+        return self.layout.ct_count(self._pack_view()[1])
+
+    @property
+    def n_ciphertexts(self) -> int:
+        """Ciphertexts on the wire — the number bandwidth accounting sees."""
+        return len(self.cts)
+
+    @property
+    def T(self) -> "PackedCryptoTensor":
+        raise TypeError(
+            "a packed tensor cannot be transposed: lanes run along the last "
+            "axis only; unpack (key owner) or keep the tensor per-element"
+        )
+
+    def take_rows(self, indices: np.ndarray) -> "PackedCryptoTensor":
+        """Gather logical rows (each row is a contiguous run of ciphertexts)."""
+        if len(self.shape) != 2:
+            raise ValueError("take_rows needs a 2-D tensor")
+        if self.contiguous:
+            raise TypeError("contiguously packed lanes span rows; no row gather")
+        indices = np.asarray(indices, dtype=int)
+        cpr = self.ct_per_row
+        cts: list[int] = []
+        for r in indices.tolist():
+            if not 0 <= r < self.shape[0]:
+                raise IndexError("row index out of range")
+            cts.extend(self.cts[r * cpr : (r + 1) * cpr])
+        return PackedCryptoTensor(
+            self.public_key,
+            self.layout,
+            cts,
+            (indices.shape[0], self.cols),
+            self.exponent,
+            self.value_bits,
+        )
+
+    def set_rows(self, indices: np.ndarray, fresh: "PackedCryptoTensor") -> None:
+        """Replace logical rows in place (the packed delta-refresh path)."""
+        if self.contiguous or fresh.contiguous:
+            raise TypeError("contiguously packed lanes span rows; no row scatter")
+        if len(self.shape) != 2 or len(fresh.shape) != 2:
+            raise ValueError("set_rows needs 2-D tensors")
+        if fresh.layout != self.layout or fresh.cols != self.cols:
+            raise ValueError("row replacement requires an identical layout")
+        if fresh.public_key != self.public_key:
+            raise ValueError("cannot mix ciphertexts under different keys")
+        if fresh.exponent != self.exponent:
+            raise ValueError("row replacement requires matching exponents")
+        indices = np.asarray(indices, dtype=int)
+        if indices.shape[0] != fresh.shape[0]:
+            raise ValueError("one replacement row per index required")
+        cpr = self.ct_per_row
+        for out_pos, r in enumerate(indices.tolist()):
+            if not 0 <= r < self.shape[0]:
+                raise IndexError("row index out of range")
+            self.cts[r * cpr : (r + 1) * cpr] = fresh.cts[
+                out_pos * cpr : (out_pos + 1) * cpr
+            ]
+        self.value_bits = max(self.value_bits, fresh.value_bits)
+
+    # -- decrypt / unpack -----------------------------------------------------
+
+    def decrypt(self, private_key) -> np.ndarray:
+        """Batched CRT decrypt + lane split back to float64."""
+        if private_key.public_key != self.public_key:
+            raise ValueError("ciphertext was encrypted under a different key")
+        rows, cols = self._pack_view()
+        out = pack_decrypt_flat(
+            private_key, self.cts, self.layout, rows, cols, self.exponent
+        )
+        return out.reshape(self.shape)
+
+    def unpack(self, private_key, obfuscate: bool = False) -> CryptoTensor:
+        """Lower to a per-element :class:`CryptoTensor` (key owner only).
+
+        Paillier has no homomorphic lane extraction, so unpacking decrypts
+        each packed ciphertext to its signed lane mantissas and re-encrypts
+        them individually at the same exponent — the round-trip
+        ``tensor.pack(layout).unpack(sk)`` decodes bit-identically to
+        ``tensor``.
+        """
+        if private_key.public_key != self.public_key:
+            raise ValueError("ciphertext was encrypted under a different key")
+        pk = self.public_key
+        n, max_int = pk.n, pk.max_int
+        flat = np.empty(self.size, dtype=object)
+        rows, cols = self._pack_view()
+        cpr = self.ct_per_row
+        slots = self.layout.slots
+        pos = 0
+        for r in range(rows):
+            col = 0
+            for b in range(cpr):
+                m = private_key.raw_decrypt(self.cts[r * cpr + b])
+                if m > max_int and m < n - max_int:
+                    raise OverflowError(
+                        "packed encoding fell in the overflow guard band"
+                    )
+                packed = m if m <= max_int else m - n
+                for lane in _split_lanes(packed, self.layout, min(slots, cols - col)):
+                    ct = pk.raw_encrypt(lane % n, obfuscate=obfuscate)
+                    flat[pos] = EncryptedNumber(pk, ct, self.exponent)
+                    pos += 1
+                    col += 1
+        return CryptoTensor(pk, flat.reshape(self.shape))
+
+    # -- guard-band bookkeeping ----------------------------------------------
+
+    def _checked_bits(self, new_bits: int, what: str) -> int:
+        if new_bits > self.layout.lane_cap_bits:
+            raise OverflowError(
+                f"{what} would need {new_bits}-bit lanes but the layout "
+                f"guards only {self.layout.lane_cap_bits} bits; widen the "
+                f"slots or reduce the accumulation depth"
+            )
+        return new_bits
+
+    def _shifted_to(self, exponent: int, parallel=None) -> "PackedCryptoTensor":
+        """Re-express at a finer uniform exponent (consumes guard bits)."""
+        if exponent == self.exponent:
+            return self
+        shift = self.exponent - exponent
+        if shift < 0:
+            raise ValueError("cannot coarsen a packed exponent losslessly")
+        bits = self._checked_bits(self.value_bits + shift, "exponent alignment")
+        cts = pack_shift_flat(self.public_key, self.cts, shift, parallel)
+        return PackedCryptoTensor(
+            self.public_key, self.layout, cts, self.shape, exponent, bits,
+            contiguous=self.contiguous,
+        )
+
+    # -- arithmetic -----------------------------------------------------------
+
+    def _add_packed(self, other: "PackedCryptoTensor", negate: bool) -> "PackedCryptoTensor":
+        if other.public_key != self.public_key:
+            raise ValueError("cannot add ciphertexts under different keys")
+        if other.layout != self.layout or other.shape != self.shape:
+            raise ValueError("packed operands need identical shapes and layouts")
+        if other.contiguous != self.contiguous:
+            raise ValueError("packed operands need identical lane layouts")
+        target = min(self.exponent, other.exponent)
+        a = self._shifted_to(target)
+        b = other._shifted_to(target)
+        bits = a._checked_bits(max(a.value_bits, b.value_bits) + 1, "lane-wise add")
+        b_cts = pack_neg_flat(self.public_key, b.cts) if negate else b.cts
+        cts = pack_add_flat(self.public_key, a.cts, b_cts)
+        return PackedCryptoTensor(
+            self.public_key, self.layout, cts, self.shape, target, bits,
+            contiguous=self.contiguous,
+        )
+
+    def add_plain(
+        self,
+        values: np.ndarray,
+        encode_exponent: int | None = None,
+        obfuscate: bool = False,
+        parallel: ParallelContext | None = None,
+    ) -> "PackedCryptoTensor":
+        """Lane-wise ``cipher + plain``.
+
+        With ``encode_exponent`` given, every value is encoded at that
+        fixed exponent and shifted onto the ciphertext — the HE2SS mask
+        path, which mirrors ``CryptoTensor + encrypt(mask,
+        TENSOR_EXPONENT)`` bit-for-bit.  Without it, each value is encoded
+        at its natural float precision (the unpacked ``add_plain``
+        convention) and the whole tensor lands at the finest exponent
+        involved.  ``obfuscate=True`` draws fresh blinders for the mask
+        encryption, re-randomising the sum before it leaves the party.
+        """
+        values = np.broadcast_to(
+            np.asarray(values, dtype=np.float64), self.shape
+        )
+        if encode_exponent is None:
+            flat = values.ravel()
+            finite = flat[np.isfinite(flat)]
+            if finite.size != flat.size:
+                raise ValueError("cannot encode non-finite values")
+            natural = min(
+                (kernels._default_float_exponent(float(v)) for v in flat.tolist()),
+                default=self.exponent,
+            )
+            encode_target = None  # per-element natural exponents
+            target = min(self.exponent, natural)
+        else:
+            encode_target = encode_exponent
+            target = min(self.exponent, encode_exponent)
+        me = self._shifted_to(target, parallel)
+        values_view = (
+            values.reshape(1, -1) if self.contiguous else np.atleast_2d(values)
+        )
+        packed_residues, max_bits = pack_encode_flat(
+            self.public_key,
+            values_view,
+            self.layout,
+            target,
+            encode_exponent=encode_target,
+            natural=encode_target is None,
+        )
+        bits = me._checked_bits(max(me.value_bits, max_bits) + 1, "plain add")
+        mask_cts = pack_encrypt_flat(
+            self.public_key, packed_residues, obfuscate=obfuscate, parallel=parallel
+        )
+        cts = pack_add_flat(self.public_key, me.cts, mask_cts)
+        return PackedCryptoTensor(
+            self.public_key, self.layout, cts, self.shape, target, bits,
+            contiguous=self.contiguous,
+        )
+
+    def __add__(self, other: object) -> "PackedCryptoTensor":
+        if isinstance(other, PackedCryptoTensor):
+            return self._add_packed(other, negate=False)
+        if isinstance(other, (int, float, np.ndarray, list)):
+            return self.add_plain(np.asarray(other, dtype=np.float64))
+        return NotImplemented
+
+    __radd__ = __add__
+
+    def __sub__(self, other: object) -> "PackedCryptoTensor":
+        if isinstance(other, PackedCryptoTensor):
+            return self._add_packed(other, negate=True)
+        if isinstance(other, (int, float, np.ndarray, list)):
+            return self.add_plain(-np.asarray(other, dtype=np.float64))
+        return NotImplemented
+
+    def __neg__(self) -> "PackedCryptoTensor":
+        cts = pack_neg_flat(self.public_key, self.cts)
+        return PackedCryptoTensor(
+            self.public_key, self.layout, cts, self.shape, self.exponent,
+            self.value_bits, contiguous=self.contiguous,
+        )
+
+    def __mul__(self, other: object) -> "PackedCryptoTensor":
+        """Scalar broadcast multiply — every lane scales by the same value."""
+        if isinstance(other, PackedCryptoTensor):
+            raise TypeError("cannot multiply two ciphertext tensors under Paillier")
+        if not isinstance(other, (int, float)):
+            raise TypeError(
+                "packed tensors support scalar multipliers only (per-lane "
+                "multipliers would need lane extraction)"
+            )
+        v = float(other)
+        if v == 1.0:
+            return self
+        if v == 0.0:
+            return PackedCryptoTensor(
+                self.public_key, self.layout, [1] * len(self.cts), self.shape,
+                self.exponent, 1, contiguous=self.contiguous,
+            )
+        signed = _signed_mantissa(v, PLAIN_EXPONENT)
+        sbits = signed.bit_length() if signed >= 0 else (-signed).bit_length()
+        bits = self._checked_bits(self.value_bits + sbits, "scalar multiply")
+        cts = pack_scalar_mul_flat(
+            self.public_key, self.cts, signed % self.public_key.n
+        )
+        return PackedCryptoTensor(
+            self.public_key, self.layout, cts, self.shape,
+            self.exponent + PLAIN_EXPONENT, bits, contiguous=self.contiguous,
+        )
+
+    __rmul__ = __mul__
+
+    def __rmatmul__(self, plain: object) -> "PackedCryptoTensor":
+        """``plain @ packed`` — the forward pass against packed weights."""
+        if hasattr(plain, "iter_rows"):
+            return pack_sparse_matmul_cipher(plain, self)
+        return pack_matmul_plain_cipher(np.asarray(plain, dtype=np.float64), self)
+
+    def __matmul__(self, plain: object) -> "PackedCryptoTensor":
+        raise TypeError(
+            "packed-cipher @ plain needs per-lane multipliers; keep that "
+            "operand per-element"
+        )
+
+    def obfuscate(self, parallel: ParallelContext | None = None) -> "PackedCryptoTensor":
+        """Re-randomise every packed ciphertext from the blinding pool."""
+        nsq = self.public_key.nsquare
+        blinders = self.public_key.blinding_factors(len(self.cts), parallel=parallel)
+        cts = [(c * b) % nsq for c, b in zip(self.cts, blinders)]
+        return PackedCryptoTensor(
+            self.public_key, self.layout, cts, self.shape, self.exponent,
+            self.value_bits, contiguous=self.contiguous,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"PackedCryptoTensor(shape={self.shape}, slots={self.layout.slots}, "
+            f"cts={len(self.cts)})"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Kernel-backed packed matrix products (mirroring crypto_tensor's wrappers).
+
+
+def _wrap_matmul_result(
+    pt: PackedCryptoTensor,
+    out: list[int],
+    out_rows: int,
+    prod_exp: int,
+    plain_bits: int,
+    max_terms: int,
+    what: str,
+) -> PackedCryptoTensor:
+    """Shared guard-band bookkeeping for packed matmul products."""
+    bits = pt.value_bits + plain_bits + _acc_bits(max(max_terms, 1))
+    if bits > pt.layout.lane_cap_bits:
+        raise OverflowError(
+            f"{what} over {max_terms} terms would need {bits}-bit lanes but "
+            f"the layout guards only {pt.layout.lane_cap_bits} bits"
+        )
+    return PackedCryptoTensor(
+        pt.public_key, pt.layout, out, (out_rows, pt.cols), prod_exp, bits
+    )
+
+
+def pack_matmul_plain_cipher(
+    plain: np.ndarray,
+    pt: PackedCryptoTensor,
+    parallel: ParallelContext | None = None,
+) -> PackedCryptoTensor:
+    """Dense ``plain (s x m) @ packed (m x k)`` with zero-skipping + dedup."""
+    if pt.contiguous:
+        raise TypeError("matmul needs row-aligned lanes, not a contiguous pack")
+    plain = np.atleast_2d(np.asarray(plain, dtype=np.float64))
+    s, m = plain.shape
+    if pt.rows != m:
+        raise ValueError(
+            f"matmul shape mismatch: ({s},{m}) @ ({pt.rows},{pt.cols})"
+        )
+    out, prod_exp, plain_bits, max_terms = pack_matmul_plain_cipher_flat(
+        pt.public_key, plain, pt.cts, pt.ct_per_row, pt.exponent, parallel
+    )
+    return _wrap_matmul_result(pt, out, s, prod_exp, plain_bits, max_terms, "matmul")
+
+
+def pack_sparse_matmul_cipher(
+    sparse: object,
+    pt: PackedCryptoTensor,
+    parallel: ParallelContext | None = None,
+) -> PackedCryptoTensor:
+    """CSR ``plain @ packed``: O(nnz) mulmod blocks, never touches zeros."""
+    if pt.contiguous:
+        raise TypeError("matmul needs row-aligned lanes, not a contiguous pack")
+    rows = list(sparse.iter_rows())
+    out, prod_exp, plain_bits, max_terms = pack_sparse_matmul_cipher_flat(
+        pt.public_key, rows, pt.rows, pt.cts, pt.ct_per_row, pt.exponent, parallel
+    )
+    return _wrap_matmul_result(
+        pt, out, len(rows), prod_exp, plain_bits, max_terms, "sparse matmul"
+    )

@@ -32,7 +32,7 @@ import random
 from collections import deque
 
 from repro.crypto.encoding import EncodedNumber
-from repro.crypto.math_utils import generate_prime, invmod
+from repro.crypto.math_utils import generate_prime, invmod, powmod
 
 __all__ = [
     "PaillierPublicKey",
@@ -113,7 +113,7 @@ class PaillierPublicKey:
         if parallel is not None and parallel.should_parallelize(count):
             return parallel.pow_n_many(self, bases)
         n, nsq = self.n, self.nsquare
-        return [pow(r, n, nsq) for r in bases]
+        return [powmod(r, n, nsq) for r in bases]
 
     def prefill_blinding(self, count: int, parallel: object | None = None) -> None:
         """Top the obfuscation pool up to ``count`` blinders, off the hot path.

@@ -26,6 +26,7 @@ import numpy as np
 
 from repro.comm.message import MessageKind
 from repro.crypto.crypto_tensor import TENSOR_EXPONENT, CryptoTensor
+from repro.crypto.packing import PackedCryptoTensor, SlotLayout
 from repro.crypto.parallel import ParallelContext
 
 if TYPE_CHECKING:  # pragma: no cover - runtime uses duck typing to avoid
@@ -60,28 +61,55 @@ def reconstruct(piece_a: np.ndarray, piece_b: np.ndarray) -> np.ndarray:
 
 
 def he2ss_split(
-    ciphertext: CryptoTensor,
+    ciphertext: CryptoTensor | PackedCryptoTensor,
     holder: "Party",
     key_owner_name: str,
     channel: "Channel",
     tag: str,
     mask_scale: float,
     parallel: ParallelContext | None = None,
+    packing: SlotLayout | None = None,
 ) -> np.ndarray:
     """Algorithm 1, the branch of the party that does *not* own the key.
 
     ``holder`` possesses ``[[v]]`` under ``key_owner``'s key.  It draws a
     random ``phi``, ships the re-randomised ``[[v - phi]]`` to the key owner
     and keeps ``phi`` as its share piece.
+
+    A :class:`PackedCryptoTensor` input is masked lane-wise and shipped as
+    is.  With ``packing`` given (a :class:`SlotLayout`), a per-element
+    tensor is first packed homomorphically — the transfer then costs one
+    ciphertext (and one mask blinding) per ``slots`` values instead of one
+    per value.  Either way the masked lanes decode bit-identically to the
+    unpacked protocol.
     """
     phi = holder.rng.uniform(-mask_scale, mask_scale, size=ciphertext.shape)
     peer_pk = holder.peer_key(key_owner_name)
     if peer_pk != ciphertext.public_key:
         raise ValueError("ciphertext is not under the claimed key owner's key")
-    # Fresh obfuscated encryption of -phi re-randomises the whole sum.
-    masked = ciphertext + CryptoTensor.encrypt(
-        peer_pk, -phi, exponent=TENSOR_EXPONENT, obfuscate=True, parallel=parallel
-    )
+    if not isinstance(ciphertext, PackedCryptoTensor) and packing is not None:
+        # Transfer-only tensor: pack row-major across row boundaries (the
+        # receiver only ever decrypts), so even column vectors get the
+        # full slots-fold reduction.
+        ciphertext = PackedCryptoTensor.pack(
+            ciphertext, packing, parallel=parallel, contiguous=True
+        )
+    if isinstance(ciphertext, PackedCryptoTensor):
+        # Fresh obfuscated packed encryption of -phi re-randomises the sum.
+        masked: object = ciphertext.add_plain(
+            -phi, encode_exponent=TENSOR_EXPONENT, obfuscate=True, parallel=parallel
+        )
+        # The lane-bound bookkeeping is derived from the holder's private
+        # operands (feature magnitudes, per-row sparsity) — canonicalise it
+        # to the layout constant before the object crosses the trust
+        # boundary, so the metadata carries nothing the unpacked protocol
+        # would not.  Decryption never reads value_bits.
+        masked.value_bits = masked.layout.lane_cap_bits
+    else:
+        # Fresh obfuscated encryption of -phi re-randomises the whole sum.
+        masked = ciphertext + CryptoTensor.encrypt(
+            peer_pk, -phi, exponent=TENSOR_EXPONENT, obfuscate=True, parallel=parallel
+        )
     channel.send(holder.name, key_owner_name, tag, masked, MessageKind.CIPHERTEXT)
     return phi
 
@@ -89,7 +117,7 @@ def he2ss_split(
 def he2ss_receive(key_owner: "Party", channel: "Channel", tag: str) -> np.ndarray:
     """Algorithm 1, the key owner's branch: receive and decrypt ``v - phi``."""
     masked = channel.recv(key_owner.name, tag)
-    if not isinstance(masked, CryptoTensor):
+    if not isinstance(masked, (CryptoTensor, PackedCryptoTensor)):
         raise TypeError(f"expected a CryptoTensor for tag {tag!r}")
     return masked.decrypt(key_owner.private_key)
 

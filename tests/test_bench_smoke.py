@@ -40,3 +40,30 @@ def test_bench_json_roundtrips(tmp_path):
     assert payload["meta"]["key_bits"] == 128
     assert payload["matmul_plain_cipher"]
     assert payload["scatter_add"]["speedup_kernel"] > 0
+
+
+def test_packing_gate_holds():
+    """Packed encrypt must beat per-element; 2048-bit grid must clear 5x."""
+    results = run_bench.check_packing()
+    assert results["encrypt"]["speedup_packed"] >= run_bench.MIN_PACKED_ENCRYPT_SPEEDUP
+    production = [
+        row
+        for row in results["bandwidth"]
+        if row["key_bits"] == 2048 and (row["rows"], row["cols"]) == (32, 64)
+    ]
+    assert production, "the 32x64 @ 2048-bit acceptance row must be in the grid"
+    assert production[0]["ct_reduction"] >= run_bench.MIN_PRODUCTION_REDUCTION
+    assert production[0]["byte_reduction"] >= run_bench.MIN_PRODUCTION_REDUCTION
+
+
+def test_bench_packing_json_roundtrips(tmp_path):
+    import bench_packing
+
+    out = tmp_path / "BENCH_packing.json"
+    rc = bench_packing.main(["--quick", "--key-bits", "256", "--out", str(out)])
+    assert rc == 0
+    payload = json.loads(out.read_text())
+    assert payload["meta"]["key_bits"] == 256
+    assert payload["meta"]["slots"] >= 2
+    assert payload["encrypt"]["packed_cts"] < payload["encrypt"]["unpacked_cts"]
+    assert payload["bandwidth"]

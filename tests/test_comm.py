@@ -49,12 +49,15 @@ def test_transcript_and_views():
 
 
 def test_byte_accounting(ctx):
+    # Ciphertext bytes derive from the *actual* key: a ciphertext lives mod
+    # n^2, i.e. 2 * key_bits / 8 bytes (the test context uses short keys).
+    cipher_bytes = 2 * ctx.B.public_key.key_bits // 8
     arr = np.ones((4, 4))
     ctx.channel.send("A", "B", "t", arr, MessageKind.SHARE)
     assert ctx.channel.bytes_by_sender["A"] == arr.nbytes
     ct = CryptoTensor.encrypt(ctx.B.public_key, np.ones(3))
     ctx.channel.send("A", "B", "c", ct, MessageKind.CIPHERTEXT)
-    assert ctx.channel.total_bytes() == arr.nbytes + 3 * 512
+    assert ctx.channel.total_bytes() == arr.nbytes + 3 * cipher_bytes
     ctx.channel.recv("B")
     ctx.channel.recv("B")
 
@@ -64,6 +67,18 @@ def test_payload_nbytes_variants(ctx):
     assert payload_nbytes([np.ones(2), 1.0]) == 16 + 8
     assert payload_nbytes("metadata") == 0
     enc = ctx.A.public_key.encrypt(1.0)
+    # Derived from the key (128-bit test keys here)...
+    assert payload_nbytes(enc) == 2 * ctx.A.public_key.key_bits // 8
+    # ... unless the caller pins an explicit per-ciphertext size.
+    assert payload_nbytes(enc, cipher_bytes=512) == 512
+
+
+def test_payload_nbytes_production_key_is_512():
+    """At the paper's 2048-bit deployment keys the old constant is exact."""
+    from repro.crypto.paillier import EncryptedNumber, PaillierPublicKey
+
+    pk = PaillierPublicKey((1 << 2047) + 1)  # any 2048-bit modulus will do
+    enc = EncryptedNumber(pk, 1, 0)
     assert payload_nbytes(enc) == 512
 
 

@@ -81,3 +81,100 @@ def test_crt_pair_reconstructs():
     for value in (0, 1, 12345, p * q - 1, 99999999):
         v = value % (p * q)
         assert crt_pair(v % p, v % q, p, q, q_inv_p) == v
+
+
+# ---------------------------------------------------------------------------
+# Optional gmpy2 fast path: both implementations must agree, the flag must
+# be loud about misconfiguration, and the pure fallback must always work.
+
+from repro.crypto.math_utils import (  # noqa: E402  (grouped with their tests)
+    gmpy2_enabled,
+    have_gmpy2,
+    invert,
+    powmod,
+    to_mpz,
+    use_gmpy2,
+)
+
+_POWMOD_CASES = [
+    (2, 10, 1_000_003),
+    (12345678901234567890, 987654321, (1 << 127) - 1),
+    (3, (1 << 61) - 1, (1 << 89) - 1),
+    ((1 << 200) + 7, (1 << 100) + 3, (1 << 255) + 95),
+]
+
+
+def _pure_results():
+    previous = use_gmpy2(False)
+    try:
+        pows = [powmod(b, e, m) for b, e, m in _POWMOD_CASES]
+        invs = [invert(b % m, m) for b, _, m in _POWMOD_CASES]
+    finally:
+        use_gmpy2(previous and have_gmpy2())
+    return pows, invs
+
+
+def test_pure_powmod_matches_builtin_pow():
+    pows, invs = _pure_results()
+    assert pows == [pow(b, e, m) for b, e, m in _POWMOD_CASES]
+    assert invs == [pow(b % m, -1, m) for b, _, m in _POWMOD_CASES]
+
+
+@pytest.mark.skipif(not have_gmpy2(), reason="gmpy2 not installed")
+def test_gmpy2_path_agrees_with_pure_python():
+    pure_pows, pure_invs = _pure_results()
+    previous = use_gmpy2(True)
+    try:
+        fast_pows = [powmod(b, e, m) for b, e, m in _POWMOD_CASES]
+        fast_invs = [invert(b % m, m) for b, _, m in _POWMOD_CASES]
+        assert all(isinstance(x, int) for x in fast_pows + fast_invs)
+    finally:
+        use_gmpy2(previous)
+    assert fast_pows == pure_pows
+    assert fast_invs == pure_invs
+
+
+@pytest.mark.skipif(not have_gmpy2(), reason="gmpy2 not installed")
+def test_gmpy2_crypto_results_bit_identical():
+    """A full encrypt/decrypt cycle must not depend on the backend."""
+    import numpy as np
+
+    from repro.crypto.crypto_tensor import CryptoTensor
+    from repro.crypto.paillier import generate_paillier_keypair
+
+    arr = np.random.default_rng(0).normal(size=(3, 4))
+    previous = use_gmpy2(False)
+    try:
+        pk, sk = generate_paillier_keypair(128, seed=55)
+        pure = CryptoTensor.encrypt(pk, arr, obfuscate=True)
+        pure_dec = pure.decrypt(sk)
+        use_gmpy2(True)
+        pk2, sk2 = generate_paillier_keypair(128, seed=55)
+        fast = CryptoTensor.encrypt(pk2, arr, obfuscate=True)
+        fast_dec = fast.decrypt(sk2)
+    finally:
+        use_gmpy2(previous)
+    assert all(
+        p.ciphertext == f.ciphertext
+        for p, f in zip(pure.data.ravel(), fast.data.ravel())
+    )
+    assert (pure_dec == fast_dec).all()
+
+
+def test_use_gmpy2_without_library_raises():
+    if have_gmpy2():
+        pytest.skip("gmpy2 is installed; enabling is legitimate here")
+    with pytest.raises(RuntimeError):
+        use_gmpy2(True)
+    # Disabling is always fine and reports the previous state.
+    assert use_gmpy2(False) in (True, False)
+    assert gmpy2_enabled() is False
+
+
+def test_to_mpz_is_identity_on_pure_path():
+    previous = use_gmpy2(False)
+    try:
+        assert to_mpz(12345) == 12345
+        assert isinstance(to_mpz(12345), int)
+    finally:
+        use_gmpy2(previous and have_gmpy2())

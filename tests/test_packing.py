@@ -1,0 +1,566 @@
+"""Packed/unpacked equivalence: the SIMD-slot subsystem must decode
+identically to the per-element ciphertext path on every primitive, across
+key sizes — mirroring ``test_kernels_equivalence.py`` one layer up.
+
+The packed kernels reuse the flat kernels' mantissa encodings and exponent
+alignment exactly, so assertions here are *bit-level on the decoded
+floats* (``np.array_equal``, not ``allclose``).  Guard-band overflow must
+raise loudly, both from the conservative op-time bookkeeping and from the
+decoder's borrow-chain check when the bookkeeping is bypassed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.comm.channel import payload_nbytes
+from repro.comm.message import MessageKind
+from repro.comm.party import VFLConfig, VFLContext
+from repro.crypto.crypto_tensor import (
+    CryptoTensor,
+    matmul_plain_cipher,
+    sparse_matmul_cipher,
+)
+from repro.crypto.kernels import TENSOR_EXPONENT
+from repro.crypto.packing import (
+    PackedCryptoTensor,
+    SlotLayout,
+    pack_add_flat,
+    protocol_layout,
+)
+from repro.crypto.paillier import PaillierPublicKey, generate_paillier_keypair
+from repro.crypto.parallel import ParallelContext
+from repro.crypto.secret_sharing import he2ss_receive, he2ss_split
+from repro.tensor.sparse import CSRMatrix
+
+KEY_BITS = [128, 192, 256]
+PRODUCT_KEY_BITS = [192, 256]  # 72 fractional product bits never fit 128
+
+
+@pytest.fixture(scope="module", params=KEY_BITS)
+def sized_keypair(request):
+    return generate_paillier_keypair(request.param, seed=2000 + request.param)
+
+
+@pytest.fixture(scope="module", params=PRODUCT_KEY_BITS)
+def product_keypair(request):
+    return generate_paillier_keypair(request.param, seed=3000 + request.param)
+
+
+def _sum_layout(pk) -> SlotLayout:
+    """An add-only layout (no plaintext products) that fits even 128 bits.
+
+    ``value_frac_bits=53`` budgets for plain adds at float-natural
+    precision, which align the ciphertext below ``TENSOR_EXPONENT``.
+    """
+    return SlotLayout.design(
+        pk, value_frac_bits=53, value_mag_bits=4, plain_mag_bits=1,
+        acc_depth=2, mask_scale=8.0, plain_frac_bits=0,
+    )
+
+
+def _product_layout(pk) -> SlotLayout:
+    """A layout with full 72-bit product precision (needs >= 192-bit keys)."""
+    return SlotLayout.design(
+        pk, value_mag_bits=4, plain_mag_bits=4, acc_depth=16, mask_scale=2.0**8
+    )
+
+
+# ---------------------------------------------------------------------------
+# Layout math.
+
+
+def test_layout_slot_width_formula():
+    pk = PaillierPublicKey((1 << 2047) + 1)  # layout math needs only n
+    layout = SlotLayout.design(
+        pk, value_mag_bits=8, plain_mag_bits=8, acc_depth=1024,
+        mask_scale=2.0**16,
+    )
+    # slot = max(2*precision-ish product width + depth guard, mask width) + 2
+    product = (40 + 8) + (32 + 8) + 10
+    mask = 40 + 32 + 17
+    assert layout.slot_bits == max(product, mask) + 2
+    cap = pk.max_int.bit_length() - 1
+    assert layout.slots == cap // layout.slot_bits
+    assert layout.slots >= 20  # the ~25x ROADMAP ballpark at 2048 bits
+    assert layout.slot_bits * layout.slots <= cap
+
+
+def test_layout_rejects_keys_too_small():
+    pk, _ = generate_paillier_keypair(64, seed=9)
+    with pytest.raises(ValueError):
+        SlotLayout.design(pk)
+
+
+def test_layout_ct_count_rounds_up():
+    layout = SlotLayout(slot_bits=50, slots=3, key_bits=256, base_value_bits=40)
+    assert layout.ct_count(1) == 1
+    assert layout.ct_count(3) == 1
+    assert layout.ct_count(4) == 2
+    assert layout.ct_count(7) == 3
+
+
+def test_protocol_layout_falls_back_to_none_on_short_keys():
+    pk, _ = generate_paillier_keypair(128, seed=10)
+    assert protocol_layout(pk, mask_scale=2.0**16, acc_depth=64) is None
+    big = PaillierPublicKey((1 << 2047) + 1)
+    layout = protocol_layout(big, mask_scale=2.0**16, acc_depth=64)
+    assert layout is not None and layout.slots >= 5
+
+
+# ---------------------------------------------------------------------------
+# Round trips.
+
+
+def test_pack_encrypt_roundtrip_bit_identical(sized_keypair):
+    pk, sk = sized_keypair
+    layout = _sum_layout(pk)
+    assert layout.slots >= 2
+    rng = np.random.default_rng(0)
+    arr = rng.normal(size=(4, 5))
+    packed = PackedCryptoTensor.encrypt(pk, arr, layout, obfuscate=True)
+    unpacked = CryptoTensor.encrypt(pk, arr, obfuscate=False)
+    assert packed.n_ciphertexts == 4 * layout.ct_count(5)
+    assert packed.n_ciphertexts < unpacked.size
+    assert np.array_equal(packed.decrypt(sk), unpacked.decrypt(sk))
+
+
+def test_homomorphic_pack_and_unpack_roundtrip(sized_keypair):
+    pk, sk = sized_keypair
+    layout = _sum_layout(pk)
+    rng = np.random.default_rng(1)
+    arr = rng.normal(size=(3, 7))  # 7 does not divide the slot count
+    tensor = CryptoTensor.encrypt(pk, arr, obfuscate=True)
+    packed = tensor.pack(layout)
+    assert np.array_equal(packed.decrypt(sk), tensor.decrypt(sk))
+    lowered = packed.unpack(sk)
+    assert isinstance(lowered, CryptoTensor)
+    assert np.array_equal(lowered.decrypt(sk), tensor.decrypt(sk))
+
+
+def test_pack_1d_tensor(sized_keypair):
+    pk, sk = sized_keypair
+    layout = _sum_layout(pk)
+    arr = np.array([0.5, -1.25, 2.0])
+    packed = PackedCryptoTensor.encrypt(pk, arr, layout)
+    out = packed.decrypt(sk)
+    assert out.shape == (3,)
+    assert np.array_equal(out, CryptoTensor.encrypt(pk, arr).decrypt(sk))
+
+
+# ---------------------------------------------------------------------------
+# Elementwise ops.
+
+
+def test_packed_add_sub_match_unpacked(sized_keypair):
+    pk, sk = sized_keypair
+    layout = _sum_layout(pk)
+    rng = np.random.default_rng(2)
+    a = rng.normal(size=(3, 5))
+    b = rng.normal(size=(3, 5))
+    pa = PackedCryptoTensor.encrypt(pk, a, layout)
+    pb = PackedCryptoTensor.encrypt(pk, b, layout)
+    ua = CryptoTensor.encrypt(pk, a, obfuscate=False)
+    ub = CryptoTensor.encrypt(pk, b, obfuscate=False)
+    assert np.array_equal((pa + pb).decrypt(sk), (ua + ub).decrypt(sk))
+    assert np.array_equal((pa - pb).decrypt(sk), (ua - ub).decrypt(sk))
+    assert np.array_equal((-pa).decrypt(sk), -pa.decrypt(sk))
+
+
+def test_packed_plain_add_matches_unpacked(sized_keypair):
+    pk, sk = sized_keypair
+    layout = _sum_layout(pk)
+    rng = np.random.default_rng(3)
+    a = rng.normal(size=(2, 4))
+    b = rng.normal(size=(2, 4))
+    pa = PackedCryptoTensor.encrypt(pk, a, layout)
+    ua = CryptoTensor.encrypt(pk, a, obfuscate=False)
+    assert np.array_equal((pa + b).decrypt(sk), (ua + b).decrypt(sk))
+    assert np.array_equal((pa - b).decrypt(sk), (ua - b).decrypt(sk))
+
+
+def test_packed_scalar_mul_matches_unpacked(product_keypair):
+    pk, sk = product_keypair
+    layout = _product_layout(pk)
+    rng = np.random.default_rng(4)
+    a = rng.normal(size=(2, 5))
+    pa = PackedCryptoTensor.encrypt(pk, a, layout)
+    ua = CryptoTensor.encrypt(pk, a, obfuscate=False)
+    for c in (2.5, -1.75, 1.0, 0.0):
+        assert np.array_equal((pa * c).decrypt(sk), (ua * c).decrypt(sk)), c
+
+
+def test_packed_row_gather_and_scatter(sized_keypair):
+    pk, sk = sized_keypair
+    layout = _sum_layout(pk)
+    rng = np.random.default_rng(5)
+    a = rng.normal(size=(5, 4))
+    pa = PackedCryptoTensor.encrypt(pk, a, layout)
+    taken = pa.take_rows(np.array([3, 0, 3]))
+    expected = CryptoTensor.encrypt(pk, a, obfuscate=False).take_rows(
+        np.array([3, 0, 3])
+    )
+    assert np.array_equal(taken.decrypt(sk), expected.decrypt(sk))
+    fresh_rows = rng.normal(size=(2, 4))
+    replacement = PackedCryptoTensor.encrypt(pk, fresh_rows, layout)
+    pa.set_rows(np.array([1, 4]), replacement)
+    out = pa.decrypt(sk)
+    ref = a.copy()
+    ref[[1, 4]] = fresh_rows
+    ref_enc = CryptoTensor.encrypt(pk, ref, obfuscate=False).decrypt(sk)
+    assert np.array_equal(out, ref_enc)
+
+
+# ---------------------------------------------------------------------------
+# Matmuls (packed along the output dimension).
+
+
+def test_packed_dense_matmul_matches_unpacked(product_keypair):
+    pk, sk = product_keypair
+    layout = _product_layout(pk)
+    assert layout.slots >= 2
+    rng = np.random.default_rng(6)
+    x = rng.normal(size=(5, 6))
+    x[rng.random(x.shape) < 0.3] = 0.0  # exercise zero-skipping
+    v = rng.normal(size=(6, 5)) * 0.1
+    pv = PackedCryptoTensor.encrypt(pk, v, layout)
+    uv = CryptoTensor.encrypt(pk, v, obfuscate=False)
+    packed = matmul_plain_cipher(x, pv)
+    unpacked = matmul_plain_cipher(x, uv)
+    assert isinstance(packed, PackedCryptoTensor)
+    assert packed.n_ciphertexts < unpacked.size
+    assert np.array_equal(packed.decrypt(sk), unpacked.decrypt(sk))
+
+
+def test_packed_sparse_matmul_matches_unpacked(product_keypair):
+    pk, sk = product_keypair
+    layout = _product_layout(pk)
+    rng = np.random.default_rng(7)
+    dense = (rng.random((6, 8)) < 0.4).astype(np.float64)
+    x = CSRMatrix.from_dense(dense)
+    v = rng.normal(size=(8, 4)) * 0.1
+    pv = PackedCryptoTensor.encrypt(pk, v, layout)
+    uv = CryptoTensor.encrypt(pk, v, obfuscate=False)
+    packed = sparse_matmul_cipher(x, pv)
+    unpacked = sparse_matmul_cipher(x, uv)
+    assert np.array_equal(packed.decrypt(sk), unpacked.decrypt(sk))
+
+
+def test_packed_matmul_operator_dispatch(product_keypair):
+    pk, sk = product_keypair
+    layout = _product_layout(pk)
+    rng = np.random.default_rng(8)
+    x = rng.normal(size=(3, 4))
+    v = rng.normal(size=(4, 5)) * 0.1
+    pv = PackedCryptoTensor.encrypt(pk, v, layout)
+    uv = CryptoTensor.encrypt(pk, v, obfuscate=False)
+    assert np.array_equal((x @ pv).decrypt(sk), (x @ uv).decrypt(sk))
+    with pytest.raises(TypeError):
+        pv @ x  # cipher @ plain needs per-lane multipliers
+    with pytest.raises(TypeError):
+        pv.T  # lanes run along the last axis only
+
+
+# ---------------------------------------------------------------------------
+# HE2SS mask path.
+
+
+def test_packed_he2ss_mask_add_bit_identical(product_keypair):
+    pk, sk = product_keypair
+    layout = _product_layout(pk)
+    rng = np.random.default_rng(9)
+    x = rng.normal(size=(4, 3))
+    v = rng.normal(size=(3, 5)) * 0.1
+    phi = rng.uniform(-8, 8, size=(4, 5))
+    pv = PackedCryptoTensor.encrypt(pk, v, layout)
+    uv = CryptoTensor.encrypt(pk, v, obfuscate=False)
+    packed_masked = matmul_plain_cipher(x, pv).add_plain(
+        -phi, encode_exponent=TENSOR_EXPONENT, obfuscate=True
+    )
+    unpacked_masked = matmul_plain_cipher(x, uv) + CryptoTensor.encrypt(
+        pk, -phi, exponent=TENSOR_EXPONENT, obfuscate=True
+    )
+    assert np.array_equal(packed_masked.decrypt(sk), unpacked_masked.decrypt(sk))
+
+
+def test_he2ss_split_with_packing_layout(product_keypair):
+    """Protocol-level: pack-before-send decodes identically + sends fewer cts."""
+    pk, sk = product_keypair
+    key_bits = pk.key_bits
+    cfg = VFLConfig(key_bits=key_bits, mask_scale=2.0**8)
+    ctx = VFLContext(cfg, seed=21)
+    a, b = ctx.A, ctx.B
+    layout = _product_layout(b.public_key)
+    rng = np.random.default_rng(10)
+    values = rng.normal(size=(3, 6))
+    ct = CryptoTensor.encrypt(b.public_key, values, obfuscate=True)
+
+    # Unpacked reference (fresh context so rng streams align).
+    ctx2 = VFLContext(VFLConfig(key_bits=key_bits, mask_scale=2.0**8), seed=21)
+    a2, b2 = ctx2.A, ctx2.B
+    ct2 = CryptoTensor.encrypt(b2.public_key, values, obfuscate=True)
+
+    phi = he2ss_split(ct, a, "B", ctx.channel, "t", cfg.mask_scale, packing=layout)
+    share = he2ss_receive(b, ctx.channel, "t")
+    phi2 = he2ss_split(ct2, a2, "B", ctx2.channel, "t", cfg.mask_scale)
+    share2 = he2ss_receive(b2, ctx2.channel, "t")
+    assert np.array_equal(phi, phi2)
+    assert np.array_equal(share, share2)
+    packed_bytes = ctx.channel.transcript[-1].nbytes
+    unpacked_bytes = ctx2.channel.transcript[-1].nbytes
+    assert packed_bytes * (layout.slots - 1) < unpacked_bytes <= packed_bytes * layout.slots
+
+
+def test_contiguous_pack_covers_column_vectors(sized_keypair):
+    """Transfer-only packs span rows: a (n, 1) tensor still fills slots."""
+    pk, sk = sized_keypair
+    layout = _sum_layout(pk)
+    rng = np.random.default_rng(14)
+    col = rng.normal(size=(6, 1))
+    tensor = CryptoTensor.encrypt(pk, col, obfuscate=True)
+    row_packed = tensor.pack(layout)
+    contiguous = PackedCryptoTensor.pack(tensor, layout, contiguous=True)
+    assert row_packed.n_ciphertexts == 6  # row-aligned lanes: no win
+    assert contiguous.n_ciphertexts == layout.ct_count(6)  # dense stream
+    assert np.array_equal(contiguous.decrypt(sk), tensor.decrypt(sk))
+    # Masking and lane-wise arithmetic still work on the dense stream.
+    phi = rng.uniform(-2, 2, size=(6, 1))
+    masked = contiguous.add_plain(-phi, encode_exponent=TENSOR_EXPONENT)
+    ref = tensor + CryptoTensor.encrypt(pk, -phi, exponent=TENSOR_EXPONENT)
+    assert np.array_equal(masked.decrypt(sk), ref.decrypt(sk))
+    # Row ops and matmuls are structurally unavailable.
+    with pytest.raises(TypeError):
+        contiguous.take_rows(np.array([0]))
+    with pytest.raises(TypeError):
+        np.ones((2, 6)) @ contiguous
+
+
+def test_he2ss_packs_column_vectors_contiguously(sized_keypair):
+    """The LR-shaped transfer (out_dim == 1) must still shrink on the wire."""
+    pk, _ = sized_keypair
+    cfg = VFLConfig(key_bits=pk.key_bits, mask_scale=4.0)
+    ctx = VFLContext(cfg, seed=33)
+    layout = _sum_layout(ctx.B.public_key)
+    values = np.arange(8.0).reshape(8, 1) / 16.0
+    ct = CryptoTensor.encrypt(ctx.B.public_key, values, obfuscate=True)
+    phi = he2ss_split(ct, ctx.A, "B", ctx.channel, "t", cfg.mask_scale, packing=layout)
+    share = he2ss_receive(ctx.B, ctx.channel, "t")
+    assert share.shape == (8, 1)
+    assert phi.shape == (8, 1)
+    sent = ctx.channel.transcript[-1]
+    per_ct = 2 * ctx.B.public_key.key_bits // 8
+    assert sent.nbytes == layout.ct_count(8) * per_ct  # not 8 * per_ct
+
+
+# ---------------------------------------------------------------------------
+# Guard-band overflow must be loud.
+
+
+def test_deep_accumulation_raises_before_lane_corruption(sized_keypair):
+    pk, _ = sized_keypair
+    layout = _sum_layout(pk)
+    t = PackedCryptoTensor.encrypt(pk, np.full((2, 4), 3.0), layout)
+    with pytest.raises(OverflowError, match="lane|guard"):
+        for _ in range(layout.slot_bits):
+            t = t + t
+
+
+def test_encode_rejects_values_beyond_lane_budget(sized_keypair):
+    pk, _ = sized_keypair
+    layout = _sum_layout(pk)
+    with pytest.raises(OverflowError, match="slot|lane"):
+        PackedCryptoTensor.encrypt(pk, np.array([[2.0**40]]), layout)
+
+
+def test_matmul_depth_budget_enforced(product_keypair):
+    pk, _ = product_keypair
+    layout = _product_layout(pk)  # budgeted for acc_depth=16-ish
+    rng = np.random.default_rng(11)
+    m = 2048  # far beyond the layout's accumulation budget
+    x = np.ones((1, m)) * 15.0
+    v = rng.normal(size=(m, layout.slots)) * 15.0
+    pv = PackedCryptoTensor.encrypt(pk, v, layout)
+    with pytest.raises(OverflowError, match="lane|guard"):
+        matmul_plain_cipher(x, pv)
+
+
+def test_decoder_borrow_chain_check_catches_bypassed_overflow(sized_keypair):
+    """Even with the bookkeeping bypassed, decode detects corrupted lanes."""
+    pk, sk = sized_keypair
+    layout = _sum_layout(pk)
+    base = PackedCryptoTensor.encrypt(pk, np.full((1, layout.slots), 9.0), layout)
+    cts = list(base.cts)
+    for _ in range(layout.slot_bits):  # double far past the lane budget
+        cts = pack_add_flat(pk, cts, cts)
+    rogue = PackedCryptoTensor(
+        pk, layout, cts, base.shape, base.exponent, value_bits=1  # lie about bounds
+    )
+    with pytest.raises(OverflowError):
+        rogue.decrypt(sk)
+
+
+# ---------------------------------------------------------------------------
+# Parallel context equivalence (the multicore engine must not change bits).
+
+
+def test_packed_ops_bit_identical_under_parallel():
+    pk, sk = generate_paillier_keypair(256, seed=91)
+    layout = _product_layout(pk)
+    rng = np.random.default_rng(12)
+    x = rng.normal(size=(4, 5))
+    v = rng.normal(size=(5, 4)) * 0.1
+    pv = PackedCryptoTensor.encrypt(pk, v, layout)
+    serial = matmul_plain_cipher(x, pv)
+    with ParallelContext(workers=2, min_jobs=1) as par:
+        parallel = matmul_plain_cipher(x, pv, parallel=par)
+        packed_par = CryptoTensor.encrypt(pk, v, obfuscate=False).pack(
+            layout, parallel=par
+        )
+    assert serial.cts == parallel.cts
+    packed_serial = CryptoTensor.encrypt(pk, v, obfuscate=False).pack(layout)
+    assert packed_serial.cts == packed_par.cts
+
+
+# ---------------------------------------------------------------------------
+# Byte accounting is packing-aware.
+
+
+def test_payload_nbytes_counts_ciphertexts_not_elements(product_keypair):
+    pk, _ = product_keypair
+    layout = _product_layout(pk)
+    arr = np.zeros((4, 2 * layout.slots))
+    packed = PackedCryptoTensor.encrypt(pk, arr, layout)
+    unpacked = CryptoTensor.encrypt(pk, arr, obfuscate=False)
+    per_ct = 2 * pk.key_bits // 8
+    assert payload_nbytes(unpacked) == arr.size * per_ct
+    assert payload_nbytes(packed) == packed.n_ciphertexts * per_ct
+    assert payload_nbytes(packed) * layout.slots == payload_nbytes(unpacked)
+
+
+# ---------------------------------------------------------------------------
+# End-to-end: source layers with the VFLConfig / TrainConfig knobs.
+
+
+def _run_matmul_layer(packing: bool, refresh: str = "reencrypt"):
+    from repro.core.matmul_layer import MatMulSource
+
+    ctx = VFLContext(
+        VFLConfig(key_bits=256, packing=packing, share_refresh=refresh), seed=11
+    )
+    layer = MatMulSource(ctx, in_a=4, in_b=3, out_dim=5)
+    rng = np.random.default_rng(3)
+    outs = []
+    for _ in range(2):
+        z = layer.forward(rng.normal(size=(5, 4)), rng.normal(size=(5, 3)))
+        outs.append(z.copy())
+        layer.backward(rng.normal(size=(5, 5)))
+        layer.apply_updates(0.05, 0.9)
+    return outs, layer.reveal_weights(), ctx.channel
+
+
+def test_matmul_layer_packing_bit_identical_and_cheaper():
+    outs0, w0, ch0 = _run_matmul_layer(False)
+    outs1, w1, ch1 = _run_matmul_layer(True)
+    for z0, z1 in zip(outs0, outs1):
+        assert np.array_equal(z0, z1)
+    for key in w0:
+        assert np.array_equal(w0[key], w1[key])
+    assert ch1.total_bytes() < ch0.total_bytes()
+
+
+def test_packed_he2ss_metadata_is_data_independent(product_keypair):
+    """The wire payload's lane-bound field must not encode private operand
+    statistics (feature magnitudes / sparsity) — it is canonicalised to the
+    layout constant before sending."""
+    pk, _ = product_keypair
+    cfg = VFLConfig(key_bits=pk.key_bits, mask_scale=2.0**8)
+    layout = _product_layout(pk)
+
+    def payload_for(x):
+        ctx = VFLContext(cfg, seed=44)
+        v = np.full((4, layout.slots), 0.01)
+        pv = PackedCryptoTensor.encrypt(ctx.B.public_key, v, _product_layout(ctx.B.public_key))
+        ct = matmul_plain_cipher(x, pv)
+        he2ss_split(ct, ctx.A, "B", ctx.channel, "t", cfg.mask_scale)
+        return ctx.channel.transcript[-1].payload
+
+    sparse_small = np.eye(4) * 0.5
+    dense_large = np.full((4, 4), 14.0)
+    p1 = payload_for(sparse_small)
+    p2 = payload_for(dense_large)
+    assert p1.value_bits == p2.value_bits == p1.layout.lane_cap_bits
+
+
+def test_delta_mode_survives_packing_toggle_off_mid_run():
+    """Packed resident copy + packing switched off: the next delta refresh
+    must downgrade to per-element instead of crashing."""
+    from repro.core.matmul_layer import MatMulSource
+
+    ctx = VFLContext(
+        VFLConfig(key_bits=256, packing=True, share_refresh="delta"), seed=17
+    )
+    layer = MatMulSource(ctx, in_a=4, in_b=3, out_dim=5)
+    rng = np.random.default_rng(6)
+    x_a = CSRMatrix.from_dense((rng.random((5, 4)) < 0.5).astype(np.float64))
+    x_b = rng.normal(size=(5, 3))
+
+    def step():
+        layer.forward(x_a, x_b)
+        layer.backward(rng.normal(size=(5, 5)))
+        layer.apply_updates(0.05, 0.9)
+
+    step()  # packed resident copy established
+    assert isinstance(layer._a.enc_v_own, PackedCryptoTensor)
+    ctx.config.packing = False  # e.g. TrainConfig(packing=False) override
+    step()  # must not raise; migrates back to per-element
+    assert isinstance(layer._a.enc_v_own, CryptoTensor)
+    ctx.config.packing = True
+    step()  # and the upgrade path still works afterwards
+    assert isinstance(layer._a.enc_v_own, PackedCryptoTensor)
+
+
+def test_embed_layer_packing_bit_identical():
+    from repro.core.embed_matmul_layer import EmbedMatMulSource
+
+    def run(packing):
+        ctx = VFLContext(VFLConfig(key_bits=256, packing=packing), seed=13)
+        layer = EmbedMatMulSource(
+            ctx, vocab_a=[3, 4], vocab_b=[5], emb_dim=3, out_dim=4
+        )
+        rng = np.random.default_rng(2)
+        xa = np.stack(
+            [rng.integers(0, 3, size=4), rng.integers(0, 4, size=4)], axis=1
+        )
+        xb = rng.integers(0, 5, size=(4, 1))
+        z = layer.forward(xa, xb)
+        layer.backward(rng.normal(size=(4, 4)))
+        layer.apply_updates(0.05, 0.9)
+        return z, layer.reveal_weights(), ctx.channel
+
+    z0, w0, ch0 = run(False)
+    z1, w1, ch1 = run(True)
+    assert np.array_equal(z0, z1)
+    for key in w0:
+        assert np.array_equal(w0[key], w1[key])
+    assert ch1.total_bytes() < ch0.total_bytes()
+
+
+def test_train_config_packing_override_flips_vfl_config():
+    from repro.core.models import FederatedLR
+    from repro.core.trainer import TrainConfig, train_federated
+    from repro.data import make_dense_classification, split_vertical
+
+    full = make_dense_classification(32, 6, seed=5, flip=0.02, nonlinear=False)
+    data = split_vertical(full)
+    ctx = VFLContext(VFLConfig(key_bits=256), seed=7)
+    assert ctx.config.packing is False
+    model = FederatedLR(ctx, in_a=3, in_b=3)
+    history = train_federated(
+        model,
+        data,
+        TrainConfig(epochs=1, batch_size=16, packing=True),
+        max_batches_per_epoch=1,
+    )
+    assert ctx.config.packing is True
+    assert all(np.isfinite(loss) for loss in history.losses)
