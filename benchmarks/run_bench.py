@@ -39,6 +39,10 @@ KEY_BITS = 128  # short keys keep the quick gate far under the 60 s budget
 PACKING_KEY_BITS = 256  # smallest key whose layout fits two product slots
 MIN_PACKED_ENCRYPT_SPEEDUP = 1.1
 MIN_PRODUCTION_REDUCTION = 5.0
+# The packed embedding backward must ship at least 2x fewer ciphertexts on
+# the lkup_bw transfer at every benchmarked key size (slots-fold in
+# practice: 2x at the 256-bit bench key, ~18x at 2048-bit production keys).
+MIN_LKUP_BW_REDUCTION = 2.0
 
 
 def check(results: dict | None = None) -> dict:
@@ -108,6 +112,16 @@ def check_packing(results: dict | None = None) -> dict:
                 failures.append(
                     f"{row['rows']}x{row['cols']} @ {row['key_bits']}b: "
                     f"{metric} {row[metric]} < {MIN_PRODUCTION_REDUCTION}x"
+                )
+    lkup_rows = results.get("lkup_bw") or []
+    if not lkup_rows:
+        failures.append("no lkup_bw rows in the packing benchmark")
+    for row in lkup_rows:
+        for metric in ("ct_reduction", "byte_reduction", "lkup_ct_reduction"):
+            if row[metric] < MIN_LKUP_BW_REDUCTION:
+                failures.append(
+                    f"lkup_bw @ {row['key_bits']}b: {metric} "
+                    f"{row[metric]:.2f} < {MIN_LKUP_BW_REDUCTION}x"
                 )
     if failures:
         raise AssertionError(

@@ -33,6 +33,7 @@ from repro.crypto.crypto_tensor import (
     matmul_cipher_plain,
     matmul_plain_cipher,
 )
+from repro.crypto.packing import PackedCryptoTensor
 from repro.crypto.parallel import ParallelContext
 from repro.crypto.secret_sharing import he2ss_receive
 from repro.core.federated import FederatedParameter, SourceLayer
@@ -48,14 +49,16 @@ class _EmbedState:
     t_peer: np.ndarray  # piece of the *peer's* table
     u: np.ndarray  # own piece of own weights W
     v_peer: np.ndarray  # piece of the peer's weights
-    enc_t_own: CryptoTensor  # [[T_own]] under the peer's key
-    enc_u_peer: CryptoTensor  # [[U_peer]] under the peer's key
+    enc_t_own: CryptoTensor | PackedCryptoTensor  # [[T_own]] under the peer's key
+    enc_u_peer: CryptoTensor | PackedCryptoTensor  # [[U_peer]] under the peer's key
     enc_v_own: CryptoTensor  # [[V_own]] under the peer's key
     offsets: np.ndarray  # per-field offsets into the packed table
-    vel_s: np.ndarray = None  # type: ignore[assignment]
-    vel_t_peer: np.ndarray = None  # type: ignore[assignment]
-    vel_u: np.ndarray = None  # type: ignore[assignment]
-    vel_v_peer: np.ndarray = None  # type: ignore[assignment]
+    # Velocity buffers are derived from the pieces in __post_init__; they
+    # are never constructor arguments and never None after construction.
+    vel_s: np.ndarray = field(init=False)
+    vel_t_peer: np.ndarray = field(init=False)
+    vel_u: np.ndarray = field(init=False)
+    vel_v_peer: np.ndarray = field(init=False)
     flat_idx: np.ndarray | None = None
     psi: np.ndarray | None = None
     e_minus_psi_peer: np.ndarray | None = None  # share of the PEER's E
@@ -122,11 +125,22 @@ class EmbedMatMulSource(SourceLayer):
         v_a = b.rng.normal(0.0, piece, size=(self.flat_in_a, out_dim))
         # With packing on, the U pieces — only ever consumed as
         # ``plain @ cipher`` right operands — travel and live packed along
-        # the output dimension.  T stays per-element (the lookup/reshape
-        # pipeline re-groups lanes across rows) and V stays per-element
-        # (the backward pass uses its transpose).
-        self._send_init(a, b, {"T_B": t_b, "U_A": u_a, "V_B": v_b}, packed=("U_A",))
-        self._send_init(b, a, {"T_A": t_a, "U_B": u_b, "V_A": v_a}, packed=("U_B",))
+        # the output dimension, and the T pieces live packed along the
+        # embedding dimension: lanes never span table rows, and the
+        # segment-aware reshape regroups whole row segments, so the
+        # ``take_rows -> reshape`` lookup pipeline is pure ciphertext-slice
+        # bookkeeping on the packed form.  V stays per-element (the
+        # backward pass uses its transpose).
+        packed_widths = {
+            "U_A": self.out_dim, "U_B": self.out_dim,
+            "T_A": self.emb_dim, "T_B": self.emb_dim,
+        }
+        self._send_init(
+            a, b, {"T_B": t_b, "U_A": u_a, "V_B": v_b}, packed=packed_widths
+        )
+        self._send_init(
+            b, a, {"T_A": t_a, "U_B": u_b, "V_A": v_a}, packed=packed_widths
+        )
         enc_at_a = self._recv_init(a, ["T_A", "U_B", "V_A"])
         enc_at_b = self._recv_init(b, ["T_B", "U_A", "V_B"])
         self._a = _EmbedState(
@@ -141,11 +155,14 @@ class EmbedMatMulSource(SourceLayer):
         )
 
     def _send_init(
-        self, sender: Party, receiver: Party, pieces: dict, packed: tuple = ()
+        self, sender: Party, receiver: Party, pieces: dict, packed: dict | None = None
     ) -> None:
+        packed = packed or {}
         for key, arr in pieces.items():
             if key in packed:
-                tensor: object = self._encrypt_piece(sender.public_key, arr)
+                tensor: object = self._encrypt_piece(
+                    sender.public_key, arr, width=packed[key]
+                )
             else:
                 tensor = CryptoTensor.encrypt(
                     sender.public_key, arr, obfuscate=True, parallel=self.parallel
@@ -160,6 +177,22 @@ class EmbedMatMulSource(SourceLayer):
 
     def _packing_contraction(self) -> int:
         return max(self.flat_in_a, self.flat_in_b, 2)
+
+    def _packing_depth(self) -> int:
+        # The backward scatter accumulates batch rows that are themselves
+        # (out_dim + 1)-deep contractions (gZ @ U^T plus the gZ V^T term);
+        # out_dim is known at init, so budget the compound fan-in up front
+        # — costing ~log2(out_dim) extra guard bits per slot — and
+        # PACKING_DEPTH_FLOOR keeps its meaning of a batch-row floor.  The
+        # budget is the exact power of two the step-time bit check sums to,
+        # so a batch at the floor always passes even when the floor itself
+        # is not a power of two.
+        from repro.crypto.packing import _acc_bits
+
+        return max(
+            self._packing_contraction(),
+            1 << (_acc_bits(self.out_dim + 1) + _acc_bits(self.PACKING_DEPTH_FLOOR)),
+        )
 
     def _recv_init(self, receiver: Party, keys: list[str]) -> dict:
         return {
@@ -207,6 +240,15 @@ class EmbedMatMulSource(SourceLayer):
         batch = np.asarray(x_cat_a).shape[0]
         if np.asarray(x_cat_b).shape[0] != batch:
             raise ValueError("parties received differently sized batches")
+        # The backward scatter-add accumulates up to ``batch`` gradient
+        # rows per lane, each itself a contraction over ``out_dim``
+        # products plus the gZ V^T term — the compound fan-in must fit the
+        # layouts' designed accumulation depth or lanes would overflow the
+        # slot guard band.  Fail loudly now, before any ciphertext is
+        # produced.  Inference passes never run that backward, so they are
+        # exempt.
+        if train:
+            self._check_packing_depth(batch, row_terms=self.out_dim + 1)
         contributions = {"A": [], "B": []}
 
         # ---- Embed stage (lines 5-7), once per party.
@@ -319,10 +361,33 @@ class EmbedMatMulSource(SourceLayer):
         for who, enc_ge in (("A", enc_ge_a), ("B", enc_ge_b)):
             state, me, peer = self._party_pair(who)
             total = self.total_a if who == "A" else self.total_b
-            rows = CryptoTensor(
+            rows: CryptoTensor | PackedCryptoTensor = CryptoTensor(
                 enc_ge.public_key,
                 enc_ge.data.reshape(-1, self.emb_dim),
             )
+            # Packed lkup_bw: lift the (batch * fields) gradient rows into
+            # lanes once — far fewer elements than the table the scatter
+            # lands in — then scatter-add with lane-wise mulmods.  The
+            # table gradient stays packed all the way through HE2SS, so
+            # the transfer ships (and the key owner decrypts/blinds)
+            # ``slots``-fold fewer ciphertexts.  The pack promises the
+            # layout's pre-accumulation operand budget widened by the
+            # rows' own out_dim-deep contraction (gZ @ U^T plus the gZ V^T
+            # term), so a batch whose compound fan-in exceeds the designed
+            # depth raises before the scatter executes.
+            layout = self._piece_layout(enc_ge.public_key, width=self.emb_dim)
+            if layout is not None:
+                rows = rows.pack(
+                    layout,
+                    value_bits=layout.acc_operand_bits_for(self.out_dim + 1),
+                    parallel=self.parallel,
+                )
+            # ``obfuscate_empty=False``: the scatter result goes straight
+            # into ``_he2ss`` below, which homomorphically adds a *freshly
+            # blinded* mask encryption to every ciphertext — untouched rows
+            # are re-randomised at the party boundary anyway, so paying a
+            # blinder per untouched table cell here would be pure waste on
+            # large vocabularies.
             if use_delta:
                 uniq, remap = np.unique(state.flat_idx, return_inverse=True)
                 touched[who] = uniq
@@ -330,10 +395,16 @@ class EmbedMatMulSource(SourceLayer):
                     me.name, peer.name, f"{tag}.bwd.touched_{who}", uniq,
                     MessageKind.PUBLIC,
                 )
-                enc_gq = rows.scatter_add_rows(remap, num_rows=uniq.shape[0])
+                enc_gq = rows.scatter_add_rows(
+                    remap, num_rows=uniq.shape[0], parallel=self.parallel,
+                    obfuscate_empty=False,
+                )
             else:
                 touched[who] = None
-                enc_gq = rows.scatter_add_rows(state.flat_idx, num_rows=total)
+                enc_gq = rows.scatter_add_rows(
+                    state.flat_idx, num_rows=total, parallel=self.parallel,
+                    obfuscate_empty=False,
+                )
             rho[who] = self._he2ss(
                 enc_gq, me, peer.name, f"{tag}.bwd.gQ_{who}", cfg.grad_mask_scale
             )
@@ -401,14 +472,30 @@ class EmbedMatMulSource(SourceLayer):
         self._refresh(b, a, f"{tag}.upd.V_A", self._b.v_peer, "enc_v_own", self._a)
         self._refresh(a, b, f"{tag}.upd.V_B", self._a.v_peer, "enc_v_own", self._b)
         self._refresh(
-            a, b, f"{tag}.upd.U_A", self._a.u, "enc_u_peer", self._b, packed=True
+            a, b, f"{tag}.upd.U_A", self._a.u, "enc_u_peer", self._b,
+            width=self.out_dim,
         )
         self._refresh(
-            b, a, f"{tag}.upd.U_B", self._b.u, "enc_u_peer", self._a, packed=True
+            b, a, f"{tag}.upd.U_B", self._b.u, "enc_u_peer", self._a,
+            width=self.out_dim,
         )
-        if not use_delta:
-            self._refresh(b, a, f"{tag}.upd.T_A", self._b.t_peer, "enc_t_own", self._a)
-            self._refresh(a, b, f"{tag}.upd.T_B", self._a.t_peer, "enc_t_own", self._b)
+        # A delta refresh must match the resident tensor's form; when the
+        # packing knob flipped mid-run, fall back to a full re-encrypt —
+        # the one step that migrates [[T]] between packed and per-element.
+        t_migrates = any(
+            (self._piece_layout(sender.public_key, width=self.emb_dim) is not None)
+            != isinstance(state.enc_t_own, PackedCryptoTensor)
+            for sender, state in ((b, self._a), (a, self._b))
+        )
+        if not use_delta or t_migrates:
+            self._refresh(
+                b, a, f"{tag}.upd.T_A", self._b.t_peer, "enc_t_own", self._a,
+                width=self.emb_dim,
+            )
+            self._refresh(
+                a, b, f"{tag}.upd.T_B", self._a.t_peer, "enc_t_own", self._b,
+                width=self.emb_dim,
+            )
         else:
             # Only touched table rows changed; re-encrypt just those rows.
             self._refresh_rows(
@@ -429,10 +516,11 @@ class EmbedMatMulSource(SourceLayer):
         plain: np.ndarray,
         attr: str,
         target_state: _EmbedState,
-        packed: bool = False,
+        width: int | None = None,
     ) -> None:
-        if packed:
-            fresh: object = self._encrypt_piece(sender.public_key, plain)
+        """Full re-encrypt of a piece; ``width`` opts into the packing policy."""
+        if width is not None:
+            fresh: object = self._encrypt_piece(sender.public_key, plain, width=width)
         else:
             fresh = CryptoTensor.encrypt(
                 sender.public_key, plain, obfuscate=True, parallel=self.parallel
@@ -452,16 +540,30 @@ class EmbedMatMulSource(SourceLayer):
         target_state: _EmbedState,
         attr: str,
     ) -> None:
-        """Re-encrypt and replace only the given rows of an encrypted copy."""
-        payload = CryptoTensor.encrypt(
-            sender.public_key, plain[rows], obfuscate=True, parallel=self.parallel
-        )
+        """Re-encrypt and replace only the given rows of an encrypted copy.
+
+        A packed resident copy takes packed replacement rows under its own
+        layout (lane-additive patches would spend a guard bit per step, so
+        packed delta refreshes *replace* rows — see the wire-format spec).
+        """
+        enc = getattr(target_state, attr)
+        if isinstance(enc, PackedCryptoTensor):
+            payload: object = PackedCryptoTensor.encrypt(
+                sender.public_key, plain[rows], enc.layout,
+                obfuscate=True, parallel=self.parallel,
+            )
+        else:
+            payload = CryptoTensor.encrypt(
+                sender.public_key, plain[rows], obfuscate=True, parallel=self.parallel
+            )
         self.ctx.channel.send(
             sender.name, receiver.name, tag, payload, MessageKind.CIPHERTEXT
         )
         received = self.ctx.channel.recv(receiver.name, tag)
-        enc = getattr(target_state, attr)
-        enc.data[rows] = received.data
+        if isinstance(enc, PackedCryptoTensor):
+            enc.set_rows(rows, received)
+        else:
+            enc.data[rows] = received.data
 
     def zero_pending(self) -> None:
         self._a.pending = {}

@@ -101,13 +101,23 @@ class SourceLayer:
         """The layer's widest forward contraction dimension (override)."""
         raise NotImplementedError
 
+    def _packing_depth(self) -> int:
+        """Designed accumulation-depth budget for this layer's layouts.
+
+        Layers whose backward accumulates rows that are themselves
+        contractions (the embedding scatter-add) override this to budget
+        the compound fan-in, so ``PACKING_DEPTH_FLOOR`` keeps its meaning
+        of a *batch-row* floor for every layer.
+        """
+        return max(self._packing_contraction(), self.PACKING_DEPTH_FLOOR)
+
     def _pack_layout(self, public_key):
         """Slot layout for ciphertexts under ``public_key`` (None = off).
 
         Derived deterministically from the config and the key, so both
         parties agree without negotiation; the depth budget covers the
         layer's contractions and batch-deep backward transfers up to
-        ``PACKING_DEPTH_FLOOR`` rows.
+        ``PACKING_DEPTH_FLOOR`` rows (see :meth:`_packing_depth`).
         """
         cfg = getattr(self, "_cfg", None)
         if cfg is None or not getattr(cfg, "packing", False):
@@ -117,28 +127,32 @@ class SourceLayer:
         return protocol_layout(
             public_key,
             mask_scale=max(cfg.mask_scale, cfg.grad_mask_scale),
-            acc_depth=max(self._packing_contraction(), self.PACKING_DEPTH_FLOOR),
+            acc_depth=self._packing_depth(),
         )
 
-    def _piece_layout(self, public_key):
-        """Layout for resident weight pieces, or None when not a win.
+    def _piece_layout(self, public_key, width: int | None = None):
+        """Layout for resident weight/table pieces, or None when not a win.
 
-        Row-aligned lanes only pay when a row spans fewer ciphertexts than
-        values — for narrow outputs (e.g. ``out_dim == 1`` logistic
-        regression) the pieces stay per-element and the HE2SS transfers
-        still pack contiguously downstream.
+        ``width`` is the piece's row width — the output dimension for
+        weight pieces (the default), the embedding dimension for table
+        pieces.  Row-aligned lanes only pay when a row spans fewer
+        ciphertexts than values — for narrow rows (e.g. ``out_dim == 1``
+        logistic regression) the pieces stay per-element and the HE2SS
+        transfers still pack contiguously downstream.
         """
+        if width is None:
+            width = self.out_dim
         layout = self._pack_layout(public_key)
-        if layout is not None and layout.ct_count(self.out_dim) < self.out_dim:
+        if layout is not None and layout.ct_count(width) < width:
             return layout
         return None
 
-    def _encrypt_piece(self, public_key, array: np.ndarray):
-        """Encrypt a weight piece, packed along the output dim when it pays."""
+    def _encrypt_piece(self, public_key, array: np.ndarray, width: int | None = None):
+        """Encrypt a piece, packed along its ``width``-wide rows when it pays."""
         from repro.crypto.crypto_tensor import CryptoTensor
         from repro.crypto.packing import PackedCryptoTensor
 
-        layout = self._piece_layout(public_key)
+        layout = self._piece_layout(public_key, width)
         if layout is not None:
             return PackedCryptoTensor.encrypt(
                 public_key, array, layout, obfuscate=True, parallel=self.parallel
@@ -146,6 +160,43 @@ class SourceLayer:
         return CryptoTensor.encrypt(
             public_key, array, obfuscate=True, parallel=self.parallel
         )
+
+    def _check_packing_depth(self, batch: int, row_terms: int = 1) -> None:
+        """Validate a step's worst-case lane fan-in against the layouts.
+
+        A lane may accumulate up to ``batch`` rows this step, each itself a
+        ``row_terms``-deep contraction (1 for plain ``X.T @ [[grad_Z]]``
+        rows, ``out_dim + 1`` for the embedding backward's gradient rows).
+        The check mirrors the packed bookkeeping's exact bit arithmetic —
+        ``ceil(log2(row_terms)) + ceil(log2(batch))`` guard bits must fit
+        the ``ceil(log2(acc_depth))`` the layout budgeted — so a step that
+        passes here cannot die later in the backward's guard-band checks,
+        and one that fails raises *before* any ciphertext is produced.
+        ``PACKING_DEPTH_FLOOR`` only *floors* the designed depth;
+        exceeding it would otherwise quietly cross the slot guard band and
+        corrupt neighbouring lanes in ways the borrow-chain decoder cannot
+        always detect.
+
+        This is a safety check: it reads ``self._cfg`` and ``self.ctx``
+        directly so a mis-wired subclass fails loudly (AttributeError)
+        rather than silently skipping the guard.
+        """
+        if not self._cfg.packing:
+            return
+        from repro.crypto.packing import _acc_bits
+
+        need = _acc_bits(max(row_terms, 1)) + _acc_bits(max(batch, 1))
+        for party in self.ctx.parties.values():
+            layout = self._pack_layout(party.public_key)
+            if layout is not None and need > _acc_bits(layout.acc_depth):
+                raise OverflowError(
+                    f"a {batch}-row batch of {row_terms}-term rows needs "
+                    f"{need} lane guard bits but the layout's designed "
+                    f"accumulation depth of {layout.acc_depth} budgets only "
+                    f"{_acc_bits(layout.acc_depth)} (fixed at init time); "
+                    f"reduce the batch size or raise {type(self).__name__}."
+                    f"PACKING_DEPTH_FLOOR before building the layer"
+                )
 
     def _he2ss(self, ciphertext, holder, owner_name: str, tag: str, scale: float):
         """HE2SS send with this layer's packing policy applied to the wire."""

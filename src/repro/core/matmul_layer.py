@@ -46,6 +46,14 @@ from repro.tensor.sparse import CSRMatrix
 __all__ = ["MatMulSource", "matmul_any"]
 
 
+def _batch_rows(x: object) -> int:
+    """Row count of a dense or CSR batch (tolerates plain sequences)."""
+    shape = getattr(x, "shape", None)
+    if shape is not None:
+        return int(shape[0])
+    return int(np.asarray(x).shape[0])
+
+
 def matmul_any(x: np.ndarray | CSRMatrix, w: np.ndarray) -> np.ndarray:
     """``x @ w`` for dense or CSR ``x`` (plaintext, local to one party)."""
     if isinstance(x, CSRMatrix):
@@ -96,9 +104,11 @@ class _PieceState:
 
     u: np.ndarray  # own piece of own weights
     v_peer: np.ndarray  # plaintext piece of the *peer's* weights
-    enc_v_own: CryptoTensor  # [[V_own]] under the peer's key
-    vel_u: np.ndarray = None  # type: ignore[assignment]
-    vel_v_peer: np.ndarray = None  # type: ignore[assignment]
+    enc_v_own: CryptoTensor | PackedCryptoTensor  # [[V_own]] under the peer's key
+    # Velocity buffers are derived from the pieces in __post_init__; they
+    # are never constructor arguments and never None after construction.
+    vel_u: np.ndarray = field(init=False)
+    vel_v_peer: np.ndarray = field(init=False)
     x_cache: object = None
     pending: dict = field(default_factory=dict)
 
@@ -174,7 +184,11 @@ class MatMulSource(SourceLayer):
         tag = f"{self.name}.{self._step}"
         ctx, cfg = self.ctx, self._cfg
         a, b, ch = ctx.A, ctx.B, ctx.channel
+        # The backward transfer contracts over the batch dimension; a batch
+        # deeper than the packed layouts budgeted for must fail loudly now.
+        # Inference passes never run that contraction, so they are exempt.
         if train:
+            self._check_packing_depth(_batch_rows(x_a))
             self._a.x_cache = x_a
             self._b.x_cache = x_b
         # Line 5-6 at A: [[X_A V_A]] -> <eps_A, X_A V_A - eps_A>.
@@ -206,6 +220,7 @@ class MatMulSource(SourceLayer):
         ctx, cfg = self.ctx, self._cfg
         a, b, ch = ctx.A, ctx.B, ctx.channel
         if train:
+            self._check_packing_depth(_batch_rows(x_a))
             self._a.x_cache = x_a
             self._b.x_cache = x_b
         ct_a = _matmul_cipher(x_a, self._a.enc_v_own, parallel=self.parallel)

@@ -245,13 +245,22 @@ class CryptoTensor:
             return sparse_matmul_cipher(plain, self)
         return matmul_plain_cipher(np.asarray(plain, dtype=np.float64), self)
 
-    def scatter_add_rows(self, indices: np.ndarray, num_rows: int) -> "CryptoTensor":
+    def scatter_add_rows(
+        self,
+        indices: np.ndarray,
+        num_rows: int,
+        parallel: ParallelContext | None = None,
+        obfuscate_empty: bool = True,
+    ) -> "CryptoTensor":
         """Encrypted ``lkup_bw``: scatter batch rows into a table.
 
         ``self`` is a (batch, dim) ciphertext tensor and ``indices`` the
         plaintext row ids; the result is a (num_rows, dim) tensor whose row
-        ``r`` is the homomorphic sum of all batch rows with index ``r`` (and
-        an encryption of zero where no batch row landed).
+        ``r`` is the homomorphic sum of all batch rows with index ``r``.
+        Rows no batch row landed on are *blinded* encryptions of zero —
+        never the raw residue ``1``, which would advertise exactly which
+        table rows the private indices missed (``obfuscate_empty=False``
+        is for in-process reference comparisons only).
         """
         if self.data.ndim != 2:
             raise ValueError("scatter_add_rows needs a 2-D tensor")
@@ -264,7 +273,10 @@ class CryptoTensor:
         pk = self.public_key
         cts, exps = _flat_parts(self.data)
         acts, exp = kernels.align_flat(pk, cts, exps)
-        out = kernels.scatter_add_flat(pk, acts, indices.tolist(), num_rows, dim)
+        out = kernels.scatter_add_flat(
+            pk, acts, indices.tolist(), num_rows, dim,
+            parallel=parallel, obfuscate_empty=obfuscate_empty,
+        )
         return CryptoTensor(pk, _wrap(pk, out, exp, (num_rows, dim)))
 
     def obfuscate(self, parallel: ParallelContext | None = None) -> "CryptoTensor":
@@ -280,17 +292,21 @@ class CryptoTensor:
         layout: object,
         value_bits: int | None = None,
         parallel: ParallelContext | None = None,
+        contiguous: bool = False,
     ) -> "object":
         """Pack ``slots`` values per ciphertext (see :mod:`repro.crypto.packing`).
 
         The homomorphic rotate/scatter kernel shifts each element into its
         lane, cutting ciphertext count and wire bytes by the layout's slot
         factor; decryption of the packed tensor decodes bit-identically.
+        ``contiguous=True`` packs one dense row-major lane stream
+        (transfer-only tensors; no row ops afterwards).
         """
         from repro.crypto.packing import PackedCryptoTensor
 
         return PackedCryptoTensor.pack(
-            self, layout, value_bits=value_bits, parallel=parallel
+            self, layout, value_bits=value_bits, parallel=parallel,
+            contiguous=contiguous,
         )
 
     @staticmethod

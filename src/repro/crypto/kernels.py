@@ -588,15 +588,48 @@ def scatter_add_flat(
     indices: Sequence[int],
     num_rows: int,
     dim: int,
+    parallel: ParallelContext | None = None,
+    obfuscate_empty: bool = True,
 ) -> list[int]:
-    """Encrypted ``lkup_bw``: homomorphically sum batch rows into a table."""
+    """Encrypted ``lkup_bw``: homomorphically sum batch rows into a table.
+
+    ``dim`` is the number of ciphertexts per logical row — the column count
+    for per-element tensors, or the (smaller) ciphertexts-per-row of a
+    packed batch, which makes this the packed scatter-add kernel too: a
+    lane-wise sum is the same mulmod either way.
+
+    Untouched table rows would otherwise be the raw residue ``1`` — an
+    unblinded, trivially recognisable encryption of zero that leaks exactly
+    which rows the batch missed (i.e. the private categorical indices).
+    ``obfuscate_empty`` (the default) multiplies *those* rows by fresh
+    blinders from the key's pool; touched rows keep exactly their inputs'
+    blinding (products of obfuscated inputs stay obfuscated — scatter
+    unobfuscated inputs only if a masking step follows before the wire).
+    Decoded values are unchanged.  Pass ``False`` only for in-process
+    reference comparisons that never cross a party boundary.
+    """
     nsq = public_key.nsquare
     out = [1] * (num_rows * dim)
+    touched = bytearray(num_rows)
     for bi, r in enumerate(indices):
-        ob = int(r) * dim
+        r = int(r)
+        touched[r] = 1
+        ob = r * dim
         ib = bi * dim
         for j in range(dim):
             out[ob + j] = (out[ob + j] * cts[ib + j]) % nsq
+    if obfuscate_empty:
+        empty = [r for r in range(num_rows) if not touched[r]]
+        if empty:
+            blinders = public_key.blinding_factors(
+                len(empty) * dim, parallel=_resolve(parallel)
+            )
+            pos = 0
+            for r in empty:
+                ob = r * dim
+                for j in range(dim):
+                    out[ob + j] = (out[ob + j] * blinders[pos]) % nsq
+                    pos += 1
     return out
 
 

@@ -88,6 +88,7 @@ __all__ = [
     "pack_encrypt_flat",
     "pack_decrypt_flat",
     "pack_rows_flat",
+    "pack_scatter_add_flat",
     "pack_add_flat",
     "pack_neg_flat",
     "pack_scalar_mul_flat",
@@ -141,18 +142,27 @@ class SlotLayout:
             designed around (``|mantissa| < 2**base_value_bits``); used as
             the assumed bound when packing opaque ciphertexts whose true
             magnitudes are not visible.
+        acc_depth: the accumulation depth the slot width budgets guard bits
+            for — how many bounded product terms one lane may sum (matmul
+            contractions, scatter-add fan-in).  Protocol layers validate
+            batch sizes against this *before* running a batch-deep
+            contraction, turning would-be silent lane corruption into a
+            loud step-time error.
     """
 
     slot_bits: int
     slots: int
     key_bits: int
     base_value_bits: int
+    acc_depth: int = 1
 
     def __post_init__(self) -> None:
         if self.slots < 1:
             raise ValueError("a layout needs at least one slot")
         if not 0 < self.base_value_bits < self.slot_bits:
             raise ValueError("base_value_bits must leave guard room in the slot")
+        if self.acc_depth < 1:
+            raise ValueError("acc_depth must be at least 1")
         if self.slot_bits * self.slots > self.key_bits - 2:
             raise ValueError(
                 f"{self.slots} x {self.slot_bits}-bit slots do not fit a "
@@ -163,6 +173,31 @@ class SlotLayout:
     def lane_cap_bits(self) -> int:
         """Hard per-lane magnitude cap (one bit reserved for the sign)."""
         return self.slot_bits - 1
+
+    @property
+    def acc_operand_bits(self) -> int:
+        """Designed per-lane bound for operands still awaiting accumulation.
+
+        A lane holding at most this many magnitude bits can be summed
+        ``acc_depth``-deep and still leave the one guard bit an HE2SS mask
+        add needs — the bound :meth:`design` sized the slot around.  Used
+        as the ``value_bits`` promise when packing opaque product rows that
+        a scatter-add will accumulate (the packed ``lkup_bw`` path).
+        """
+        return max(1, self.lane_cap_bits - 1 - _acc_bits(self.acc_depth))
+
+    def acc_operand_bits_for(self, terms: int) -> int:
+        """The :attr:`acc_operand_bits` promise widened for contracted rows.
+
+        An operand that is itself the sum of ``terms`` designed-width
+        products (e.g. an embedding gradient row ``gZ @ U.T + gZ V.T``,
+        which contracts over the output dimension) carries up to
+        ``ceil(log2(terms))`` extra magnitude bits.  Charging them to the
+        pack promise keeps the scatter-add's pre-execution guard sound:
+        callers must budget the matching fan-in (``terms * batch``)
+        against ``acc_depth``.
+        """
+        return self.acc_operand_bits + _acc_bits(max(terms, 1))
 
     def ct_count(self, cols: int) -> int:
         """Packed ciphertexts per logical row of ``cols`` values."""
@@ -217,6 +252,7 @@ class SlotLayout:
             slots=slots,
             key_bits=public_key.key_bits,
             base_value_bits=base,
+            acc_depth=acc_depth,
         )
 
 
@@ -449,6 +485,30 @@ def pack_rows_flat(
     return out
 
 
+def pack_scatter_add_flat(
+    public_key: PaillierPublicKey,
+    cts: Sequence[int],
+    indices: Sequence[int],
+    num_rows: int,
+    ct_per_row: int,
+    parallel: ParallelContext | None = None,
+    obfuscate_empty: bool = True,
+) -> list[int]:
+    """Packed ``lkup_bw``: sum packed batch rows into a packed table.
+
+    A logical row is ``ct_per_row`` ciphertexts, so the accumulation is
+    ``ct_per_row`` lane-wise mulmods per batch row — the ``slots``-fold
+    saving over the per-element scatter.  Untouched table rows come back as
+    *blinded* encryptions of zero (see :func:`repro.crypto.kernels.
+    scatter_add_flat`), never as the recognisable raw residue ``1``.  The
+    caller tracks ``value_bits`` growth; this kernel only moves residues.
+    """
+    return kernels.scatter_add_flat(
+        public_key, cts, indices, num_rows, ct_per_row,
+        parallel=parallel, obfuscate_empty=obfuscate_empty,
+    )
+
+
 def pack_add_flat(
     public_key: PaillierPublicKey, a_cts: Sequence[int], b_cts: Sequence[int]
 ) -> list[int]:
@@ -616,6 +676,28 @@ def pack_sparse_matmul_cipher_flat(
 # The tensor wrapper.
 
 
+def _normalized_seg(cols: int, seg_cols: int | None, slots: int) -> int:
+    """Canonical segment width for a ``cols``-wide row.
+
+    Lanes never span *segments*: each run of ``seg_cols`` columns packs
+    into its own ``ct_count(seg_cols)`` ciphertexts (padding the last one).
+    ``None`` means whole-row segments — the historical row-aligned layout.
+    When the segment width is a multiple of the slot count the lane stream
+    is dense (no padding anywhere), so the finest equivalent segmentation —
+    one ciphertext, ``slots`` columns — is the canonical form; that is what
+    lets any two dense tensors agree on their segmentation regardless of
+    how they were produced.
+    """
+    seg = cols if seg_cols is None else int(seg_cols)
+    if seg < 1 or cols % seg:
+        raise ValueError(
+            f"segment width {seg} must evenly divide the {cols}-column rows"
+        )
+    if seg % slots == 0:
+        seg = slots
+    return seg
+
+
 class PackedCryptoTensor:
     """A 1-D or 2-D tensor of Paillier ciphertexts, ``slots`` lanes each.
 
@@ -624,6 +706,15 @@ class PackedCryptoTensor:
     :meth:`unpack` (key owner only) lowers back.  ``value_bits`` is the
     conservative per-lane magnitude bound that makes guard-band overflow a
     loud error instead of silent lane corruption.
+
+    ``seg_cols`` is the segment-aware part of the layout: a row is a
+    sequence of ``cols // seg_cols`` independent lane *segments*, each
+    packed into its own ciphertexts.  Freshly encrypted tensors use
+    whole-row segments (canonicalised to one-ciphertext segments when the
+    row is a multiple of the slot count); :meth:`reshape` regroups whole
+    segments into new rows without touching a single ciphertext, which is
+    what lets an embedding table piece survive ``take_rows -> reshape``
+    packed (the Embed-MatMul lookup pipeline).
     """
 
     # Make numpy defer mixed operations to our reflected methods.
@@ -632,7 +723,7 @@ class PackedCryptoTensor:
 
     __slots__ = (
         "public_key", "layout", "cts", "shape", "exponent", "value_bits",
-        "contiguous",
+        "contiguous", "seg_cols",
     )
 
     def __init__(
@@ -644,16 +735,22 @@ class PackedCryptoTensor:
         exponent: int,
         value_bits: int,
         contiguous: bool = False,
+        seg_cols: int | None = None,
     ):
         if len(shape) not in (1, 2):
             raise ValueError("PackedCryptoTensor supports 1-D and 2-D shapes")
         self.contiguous = contiguous
         if contiguous:
+            if seg_cols is not None:
+                raise ValueError("a contiguous pack has no row segments")
+            self.seg_cols = 0
             size = int(np.prod(shape, dtype=np.int64))
             expected = layout.ct_count(size)
         else:
             rows = 1 if len(shape) == 1 else shape[0]
-            expected = rows * layout.ct_count(shape[-1])
+            seg = _normalized_seg(shape[-1], seg_cols, layout.slots)
+            self.seg_cols = seg
+            expected = rows * (shape[-1] // seg) * layout.ct_count(seg)
         if len(cts) != expected:
             raise ValueError("ciphertext count does not match shape and layout")
         if value_bits > layout.lane_cap_bits:
@@ -690,7 +787,12 @@ class PackedCryptoTensor:
         """
         layout.check_key(public_key)
         array = np.asarray(array, dtype=np.float64)
-        view = array.reshape(1, -1) if contiguous else np.atleast_2d(array)
+        if contiguous:
+            view = array.reshape(1, -1)
+        else:
+            view = np.atleast_2d(array)
+            seg = _normalized_seg(view.shape[1], None, layout.slots)
+            view = view.reshape(-1, seg)
         packed, value_bits = pack_encode_flat(public_key, view, layout, exponent)
         cts = pack_encrypt_flat(public_key, packed, obfuscate=obfuscate, parallel=parallel)
         return cls(
@@ -722,7 +824,11 @@ class PackedCryptoTensor:
         """
         layout.check_key(tensor.public_key)
         data = tensor.data if tensor.data.ndim == 2 else tensor.data.reshape(1, -1)
-        rows, cols = (1, data.size) if contiguous else data.shape
+        if contiguous:
+            rows, cols = 1, data.size
+        else:
+            cols = _normalized_seg(data.shape[1], None, layout.slots)
+            rows = data.size // cols
         flat = data.ravel()
         raw = [enc.ciphertext for enc in flat]
         exps = [enc.exponent for enc in flat]
@@ -755,14 +861,22 @@ class PackedCryptoTensor:
         return self.shape[-1]
 
     def _pack_view(self) -> tuple[int, int]:
-        """The (rows, cols) grid lanes are actually laid out on."""
+        """The (rows, cols) grid lanes are actually laid out on.
+
+        One view row per *segment* — the unit lanes never cross — so every
+        encoder/decoder loop sees exactly the ciphertext-aligned geometry
+        whatever logical shape sits on top.
+        """
         if self.contiguous:
             return 1, self.size
-        return self.rows, self.cols
+        return self.rows * (self.cols // self.seg_cols), self.seg_cols
 
     @property
     def ct_per_row(self) -> int:
-        return self.layout.ct_count(self._pack_view()[1])
+        """Ciphertexts per *logical* row (all of its segments)."""
+        if self.contiguous:
+            return self.layout.ct_count(self.size)
+        return (self.cols // self.seg_cols) * self.layout.ct_count(self.seg_cols)
 
     @property
     def n_ciphertexts(self) -> int:
@@ -796,6 +910,53 @@ class PackedCryptoTensor:
             (indices.shape[0], self.cols),
             self.exponent,
             self.value_bits,
+            seg_cols=self.seg_cols,
+        )
+
+    def reshape(self, *shape: int) -> "PackedCryptoTensor":
+        """Regroup whole lane segments into a new shape — zero crypto cost.
+
+        Lanes survive a reshape as pure ciphertext-slice bookkeeping iff
+        every new row is a whole number of existing segments (new column
+        count a multiple of ``seg_cols``); in particular any row width that
+        is a multiple of the slot count keeps the dense one-ciphertext
+        segmentation.  The Embed-MatMul lookup relies on this:
+        ``take_rows(flat_idx)`` yields ``(batch * fields, emb_dim)`` rows
+        with ``emb_dim``-column segments, and ``reshape(batch, fields *
+        emb_dim)`` just regroups ``fields`` segments per row.  A reshape
+        that would split a segment (and so a ciphertext) across rows has no
+        homomorphic implementation — it raises :class:`TypeError` and the
+        caller must stay per-element or repack via the key owner.
+        """
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        dims = [int(s) for s in shape]
+        if self.contiguous:
+            raise TypeError("a contiguous pack has no row structure to reshape")
+        if dims.count(-1) > 1:
+            raise ValueError("can only infer one reshape dimension")
+        if -1 in dims:
+            known = int(np.prod([d for d in dims if d != -1], dtype=np.int64))
+            if known <= 0 or self.size % known:
+                raise ValueError(f"cannot reshape {self.shape} into {tuple(dims)}")
+            dims[dims.index(-1)] = self.size // known
+        if len(dims) not in (1, 2) or int(np.prod(dims, dtype=np.int64)) != self.size:
+            raise ValueError(f"cannot reshape {self.shape} into {tuple(dims)}")
+        if dims[-1] % self.seg_cols:
+            raise TypeError(
+                f"a packed reshape must keep whole {self.seg_cols}-column "
+                f"lane segments per row; {tuple(dims)} would split a "
+                f"ciphertext across rows — unpack (key owner) or keep the "
+                f"tensor per-element"
+            )
+        return PackedCryptoTensor(
+            self.public_key,
+            self.layout,
+            list(self.cts),
+            tuple(dims),
+            self.exponent,
+            self.value_bits,
+            seg_cols=self.seg_cols,
         )
 
     def set_rows(self, indices: np.ndarray, fresh: "PackedCryptoTensor") -> None:
@@ -806,6 +967,8 @@ class PackedCryptoTensor:
             raise ValueError("set_rows needs 2-D tensors")
         if fresh.layout != self.layout or fresh.cols != self.cols:
             raise ValueError("row replacement requires an identical layout")
+        if fresh.seg_cols != self.seg_cols:
+            raise ValueError("row replacement requires an identical segmentation")
         if fresh.public_key != self.public_key:
             raise ValueError("cannot mix ciphertexts under different keys")
         if fresh.exponent != self.exponent:
@@ -821,6 +984,62 @@ class PackedCryptoTensor:
                 out_pos * cpr : (out_pos + 1) * cpr
             ]
         self.value_bits = max(self.value_bits, fresh.value_bits)
+
+    def scatter_add_rows(
+        self,
+        indices: np.ndarray,
+        num_rows: int,
+        parallel: ParallelContext | None = None,
+        obfuscate_empty: bool = True,
+    ) -> "PackedCryptoTensor":
+        """Packed encrypted ``lkup_bw``: sum batch rows into a packed table.
+
+        ``self`` is a ``(batch, dim)`` packed tensor and ``indices`` the
+        plaintext row ids; row ``r`` of the ``(num_rows, dim)`` result is
+        the lane-wise homomorphic sum of every batch row that landed on
+        ``r`` — ``ct_per_row`` mulmods per batch row instead of ``dim``,
+        the slot-count saving.  ``value_bits`` grows by the worst-case
+        fan-in ``ceil(log2(max hits per table row))`` and the guard band is
+        checked *before* any mulmod runs, so an overaccumulation (e.g. a
+        batch deeper than the layout's designed ``acc_depth``) raises
+        loudly instead of corrupting neighbouring lanes.  Untouched table
+        rows come back as blinded encryptions of zero, never the
+        recognisable raw residue ``1``.
+        """
+        if len(self.shape) != 2:
+            raise ValueError("scatter_add_rows needs a 2-D tensor")
+        if self.contiguous:
+            raise TypeError("contiguously packed lanes span rows; no row scatter")
+        indices = np.asarray(indices, dtype=int)
+        if indices.shape[0] != self.shape[0]:
+            raise ValueError("one index per batch row required")
+        if indices.size and (indices.min() < 0 or indices.max() >= num_rows):
+            raise IndexError("scatter index out of range")
+        max_hits = (
+            int(np.bincount(indices, minlength=num_rows).max()) if indices.size else 0
+        )
+        bits = self._checked_bits(
+            self.value_bits + _acc_bits(max(max_hits, 1)),
+            f"scatter-add with {max_hits} batch rows on one table row",
+        )
+        cts = pack_scatter_add_flat(
+            self.public_key,
+            self.cts,
+            indices.tolist(),
+            num_rows,
+            self.ct_per_row,
+            parallel=parallel,
+            obfuscate_empty=obfuscate_empty,
+        )
+        return PackedCryptoTensor(
+            self.public_key,
+            self.layout,
+            cts,
+            (num_rows, self.cols),
+            self.exponent,
+            bits,
+            seg_cols=self.seg_cols,
+        )
 
     # -- decrypt / unpack -----------------------------------------------------
 
@@ -849,7 +1068,7 @@ class PackedCryptoTensor:
         n, max_int = pk.n, pk.max_int
         flat = np.empty(self.size, dtype=object)
         rows, cols = self._pack_view()
-        cpr = self.ct_per_row
+        cpr = self.layout.ct_count(cols)  # per view row (= per segment)
         slots = self.layout.slots
         pos = 0
         for r in range(rows):
@@ -888,9 +1107,25 @@ class PackedCryptoTensor:
             raise ValueError("cannot coarsen a packed exponent losslessly")
         bits = self._checked_bits(self.value_bits + shift, "exponent alignment")
         cts = pack_shift_flat(self.public_key, self.cts, shift, parallel)
+        return self._like(cts, exponent=exponent, value_bits=bits)
+
+    def _like(
+        self,
+        cts: list[int],
+        shape: tuple[int, ...] | None = None,
+        exponent: int | None = None,
+        value_bits: int | None = None,
+    ) -> "PackedCryptoTensor":
+        """A sibling tensor sharing this one's layout metadata."""
         return PackedCryptoTensor(
-            self.public_key, self.layout, cts, self.shape, exponent, bits,
+            self.public_key,
+            self.layout,
+            cts,
+            self.shape if shape is None else shape,
+            self.exponent if exponent is None else exponent,
+            self.value_bits if value_bits is None else value_bits,
             contiguous=self.contiguous,
+            seg_cols=None if self.contiguous else self.seg_cols,
         )
 
     # -- arithmetic -----------------------------------------------------------
@@ -900,7 +1135,7 @@ class PackedCryptoTensor:
             raise ValueError("cannot add ciphertexts under different keys")
         if other.layout != self.layout or other.shape != self.shape:
             raise ValueError("packed operands need identical shapes and layouts")
-        if other.contiguous != self.contiguous:
+        if other.contiguous != self.contiguous or other.seg_cols != self.seg_cols:
             raise ValueError("packed operands need identical lane layouts")
         target = min(self.exponent, other.exponent)
         a = self._shifted_to(target)
@@ -908,10 +1143,7 @@ class PackedCryptoTensor:
         bits = a._checked_bits(max(a.value_bits, b.value_bits) + 1, "lane-wise add")
         b_cts = pack_neg_flat(self.public_key, b.cts) if negate else b.cts
         cts = pack_add_flat(self.public_key, a.cts, b_cts)
-        return PackedCryptoTensor(
-            self.public_key, self.layout, cts, self.shape, target, bits,
-            contiguous=self.contiguous,
-        )
+        return self._like(cts, exponent=target, value_bits=bits)
 
     def add_plain(
         self,
@@ -949,9 +1181,7 @@ class PackedCryptoTensor:
             encode_target = encode_exponent
             target = min(self.exponent, encode_exponent)
         me = self._shifted_to(target, parallel)
-        values_view = (
-            values.reshape(1, -1) if self.contiguous else np.atleast_2d(values)
-        )
+        values_view = np.asarray(values).reshape(self._pack_view())
         packed_residues, max_bits = pack_encode_flat(
             self.public_key,
             values_view,
@@ -965,10 +1195,7 @@ class PackedCryptoTensor:
             self.public_key, packed_residues, obfuscate=obfuscate, parallel=parallel
         )
         cts = pack_add_flat(self.public_key, me.cts, mask_cts)
-        return PackedCryptoTensor(
-            self.public_key, self.layout, cts, self.shape, target, bits,
-            contiguous=self.contiguous,
-        )
+        return self._like(cts, exponent=target, value_bits=bits)
 
     def __add__(self, other: object) -> "PackedCryptoTensor":
         if isinstance(other, PackedCryptoTensor):
@@ -987,11 +1214,7 @@ class PackedCryptoTensor:
         return NotImplemented
 
     def __neg__(self) -> "PackedCryptoTensor":
-        cts = pack_neg_flat(self.public_key, self.cts)
-        return PackedCryptoTensor(
-            self.public_key, self.layout, cts, self.shape, self.exponent,
-            self.value_bits, contiguous=self.contiguous,
-        )
+        return self._like(pack_neg_flat(self.public_key, self.cts))
 
     def __mul__(self, other: object) -> "PackedCryptoTensor":
         """Scalar broadcast multiply — every lane scales by the same value."""
@@ -1006,20 +1229,14 @@ class PackedCryptoTensor:
         if v == 1.0:
             return self
         if v == 0.0:
-            return PackedCryptoTensor(
-                self.public_key, self.layout, [1] * len(self.cts), self.shape,
-                self.exponent, 1, contiguous=self.contiguous,
-            )
+            return self._like([1] * len(self.cts), value_bits=1)
         signed = _signed_mantissa(v, PLAIN_EXPONENT)
         sbits = signed.bit_length() if signed >= 0 else (-signed).bit_length()
         bits = self._checked_bits(self.value_bits + sbits, "scalar multiply")
         cts = pack_scalar_mul_flat(
             self.public_key, self.cts, signed % self.public_key.n
         )
-        return PackedCryptoTensor(
-            self.public_key, self.layout, cts, self.shape,
-            self.exponent + PLAIN_EXPONENT, bits, contiguous=self.contiguous,
-        )
+        return self._like(cts, exponent=self.exponent + PLAIN_EXPONENT, value_bits=bits)
 
     __rmul__ = __mul__
 
@@ -1039,11 +1256,7 @@ class PackedCryptoTensor:
         """Re-randomise every packed ciphertext from the blinding pool."""
         nsq = self.public_key.nsquare
         blinders = self.public_key.blinding_factors(len(self.cts), parallel=parallel)
-        cts = [(c * b) % nsq for c, b in zip(self.cts, blinders)]
-        return PackedCryptoTensor(
-            self.public_key, self.layout, cts, self.shape, self.exponent,
-            self.value_bits, contiguous=self.contiguous,
-        )
+        return self._like([(c * b) % nsq for c, b in zip(self.cts, blinders)])
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (
@@ -1073,7 +1286,8 @@ def _wrap_matmul_result(
             f"the layout guards only {pt.layout.lane_cap_bits} bits"
         )
     return PackedCryptoTensor(
-        pt.public_key, pt.layout, out, (out_rows, pt.cols), prod_exp, bits
+        pt.public_key, pt.layout, out, (out_rows, pt.cols), prod_exp, bits,
+        seg_cols=pt.seg_cols,
     )
 
 

@@ -77,11 +77,16 @@ def he2ss_split(
     and keeps ``phi`` as its share piece.
 
     A :class:`PackedCryptoTensor` input is masked lane-wise and shipped as
-    is.  With ``packing`` given (a :class:`SlotLayout`), a per-element
-    tensor is first packed homomorphically — the transfer then costs one
-    ciphertext (and one mask blinding) per ``slots`` values instead of one
-    per value.  Either way the masked lanes decode bit-identically to the
-    unpacked protocol.
+    is — this is how the packed Embed-MatMul table gradient (a packed
+    ``scatter_add_rows`` output) crosses the wire at ``slots``-fold fewer
+    ciphertexts, mask blindings and receiver decrypts.  With ``packing``
+    given (a :class:`SlotLayout`), a per-element tensor is first packed
+    homomorphically — the transfer then costs one ciphertext (and one mask
+    blinding) per ``slots`` values instead of one per value.  Either way
+    the masked lanes decode bit-identically to the unpacked protocol, and
+    the ``value_bits`` metadata is canonicalised to the layout constant
+    before sending (a scatter output's bound would otherwise encode the
+    batch's per-row fan-in — a function of the private indices).
     """
     phi = holder.rng.uniform(-mask_scale, mask_scale, size=ciphertext.shape)
     peer_pk = holder.peer_key(key_owner_name)

@@ -54,6 +54,16 @@ def test_packing_gate_holds():
     assert production, "the 32x64 @ 2048-bit acceptance row must be in the grid"
     assert production[0]["ct_reduction"] >= run_bench.MIN_PRODUCTION_REDUCTION
     assert production[0]["byte_reduction"] >= run_bench.MIN_PRODUCTION_REDUCTION
+    # The packed embedding backward acceptance rows: >= 2x fewer lkup_bw
+    # ciphertexts at the bench key, slots-fold at the production key.
+    lkup = {row["key_bits"]: row for row in results["lkup_bw"]}
+    assert run_bench.PACKING_KEY_BITS in lkup and 2048 in lkup
+    for row in lkup.values():
+        assert row["ct_reduction"] >= run_bench.MIN_LKUP_BW_REDUCTION
+        assert row["lkup_ct_reduction"] >= run_bench.MIN_LKUP_BW_REDUCTION
+    # Row-aligned table lanes cap the reduction at emb_dim / ceil(emb_dim /
+    # slots); at 2048-bit production slots the whole row fits one ciphertext.
+    assert lkup[2048]["ct_reduction"] == lkup[2048]["emb_dim"]
 
 
 def test_bench_packing_json_roundtrips(tmp_path):

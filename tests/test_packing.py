@@ -354,6 +354,144 @@ def test_he2ss_packs_column_vectors_contiguously(sized_keypair):
 
 
 # ---------------------------------------------------------------------------
+# Segment-aware reshape: lanes survive ``take_rows -> reshape`` as pure
+# ciphertext-slice bookkeeping (the packed embedding-lookup pipeline).
+
+
+@pytest.mark.parametrize("emb_dim", [3, 4])  # slots=2 divides 4 but not 3
+def test_take_rows_reshape_bit_identical(sized_keypair, emb_dim):
+    pk, sk = sized_keypair
+    layout = _sum_layout(pk)
+    rng = np.random.default_rng(20)
+    table = rng.normal(size=(7, emb_dim))
+    pt = PackedCryptoTensor.encrypt(pk, table, layout)
+    ut = CryptoTensor.encrypt(pk, table, obfuscate=False)
+    flat = np.array([2, 6, 0, 2, 5, 1])  # batch=3 rows of fields=2 lookups
+    before = list(pt.cts)
+    lk = pt.take_rows(flat).reshape(3, 2 * emb_dim)
+    assert pt.cts == before  # gather/reshape never touch a ciphertext
+    ref = ut.take_rows(flat).reshape(3, -1)
+    assert lk.shape == (3, 2 * emb_dim)
+    assert np.array_equal(lk.decrypt(sk), ref.decrypt(sk))
+    # And back down to per-lookup rows — still pure bookkeeping.
+    back = lk.reshape(6, emb_dim)
+    assert np.array_equal(back.decrypt(sk), ut.take_rows(flat).decrypt(sk))
+
+
+def test_take_rows_reshape_matmul_matches_unpacked(product_keypair):
+    pk, sk = product_keypair
+    layout = _product_layout(pk)
+    rng = np.random.default_rng(21)
+    table = rng.normal(size=(6, 2 * layout.slots)) * 0.1
+    pt = PackedCryptoTensor.encrypt(pk, table, layout)
+    ut = CryptoTensor.encrypt(pk, table, obfuscate=False)
+    flat = np.array([1, 4, 0, 5])
+    lk = pt.take_rows(flat).reshape(2, -1)
+    ref = ut.take_rows(flat).reshape(2, -1)
+    x = rng.normal(size=(3, 2))
+    packed = matmul_plain_cipher(x, lk)
+    unpacked = matmul_plain_cipher(x, ref)
+    assert isinstance(packed, PackedCryptoTensor)
+    assert packed.n_ciphertexts < unpacked.size
+    assert np.array_equal(packed.decrypt(sk), unpacked.decrypt(sk))
+
+
+def test_reshape_fallback_rules(sized_keypair):
+    """A reshape that would split a segment (ciphertext) across rows must
+    refuse loudly; contiguous packs have no row structure at all."""
+    pk, _ = sized_keypair
+    layout = _sum_layout(pk)
+    rng = np.random.default_rng(22)
+    pt = PackedCryptoTensor.encrypt(pk, rng.normal(size=(4, 3)), layout)
+    assert pt.seg_cols == 3  # slots=2 does not divide 3: whole-row segments
+    with pytest.raises(TypeError, match="segment"):
+        pt.reshape(3, 4)  # 4 % 3 != 0 would split a ciphertext
+    with pytest.raises(ValueError):
+        pt.reshape(5, 2)  # wrong element count
+    assert pt.reshape(2, 6).shape == (2, 6)  # whole segments regroup fine
+    assert pt.reshape(-1, 6).shape == (2, 6)
+    dense = PackedCryptoTensor.encrypt(pk, rng.normal(size=(4, layout.slots)), layout)
+    assert dense.seg_cols == layout.slots  # dense lanes: canonical segments
+    assert dense.reshape(2, 2 * layout.slots).shape == (2, 2 * layout.slots)
+    cont = PackedCryptoTensor.encrypt(
+        pk, rng.normal(size=(4, 2)), layout, contiguous=True
+    )
+    with pytest.raises(TypeError):
+        cont.reshape(2, 4)
+
+
+# ---------------------------------------------------------------------------
+# Packed scatter-add (the packed ``lkup_bw``).
+
+
+def test_packed_scatter_add_matches_unpacked(sized_keypair):
+    pk, sk = sized_keypair
+    layout = _sum_layout(pk)
+    rng = np.random.default_rng(23)
+    grads = rng.normal(size=(4, 3))
+    idx = np.array([3, 0, 3, 1])  # at most 2 hits: inside acc_depth=2
+    enc = CryptoTensor.encrypt(pk, grads, obfuscate=True)
+    packed = enc.pack(layout, value_bits=layout.acc_operand_bits)
+    out = packed.scatter_add_rows(idx, num_rows=5)
+    ref = enc.scatter_add_rows(idx, num_rows=5)
+    assert out.shape == (5, 3)
+    assert out.n_ciphertexts < ref.size
+    assert np.array_equal(out.decrypt(sk), ref.decrypt(sk))
+
+
+def test_packed_scatter_add_after_reshape(product_keypair):
+    """The full embedding-backward shape dance: (batch, F*D) gradient rows
+    reshaped to (batch*F, D) and scattered into the table, packed."""
+    pk, sk = product_keypair
+    layout = _product_layout(pk)
+    rng = np.random.default_rng(24)
+    emb_dim, fields, batch, total = 3, 2, 4, 9
+    grad_e = rng.normal(size=(batch, fields * emb_dim)) * 0.1
+    flat_idx = rng.integers(0, total, size=batch * fields)
+    enc = CryptoTensor.encrypt(pk, grad_e, obfuscate=True)
+    rows = CryptoTensor(pk, enc.data.reshape(-1, emb_dim))
+    packed = rows.pack(layout, value_bits=layout.acc_operand_bits)
+    out = packed.scatter_add_rows(flat_idx, num_rows=total)
+    ref = rows.scatter_add_rows(flat_idx, num_rows=total)
+    assert np.array_equal(out.decrypt(sk), ref.decrypt(sk))
+
+
+def test_scatter_overflow_raises_before_executing(sized_keypair):
+    """A fan-in deeper than the layout's designed acc_depth must raise from
+    the bookkeeping, before any mulmod runs."""
+    pk, _ = sized_keypair
+    layout = _sum_layout(pk)  # designed for acc_depth=2
+    rng = np.random.default_rng(25)
+    batch = 64  # every row lands on table row 0: fan-in 64 >> 2
+    enc = CryptoTensor.encrypt(pk, rng.normal(size=(batch, 2)), obfuscate=False)
+    packed = enc.pack(layout, value_bits=layout.acc_operand_bits)
+    with pytest.raises(OverflowError, match="scatter-add"):
+        packed.scatter_add_rows(np.zeros(batch, dtype=int), num_rows=3)
+
+
+def test_scatter_add_output_is_rerandomised(sized_keypair):
+    """Regression (untouched-row leak): every scatter output ciphertext must
+    be blinded — raw residue-1 rows would advertise exactly which table rows
+    the private indices missed."""
+    pk, sk = sized_keypair
+    layout = _sum_layout(pk)
+    rng = np.random.default_rng(26)
+    grads = rng.normal(size=(3, 2))
+    idx = np.array([0, 4, 0])  # rows 1, 2, 3 untouched
+    enc = CryptoTensor.encrypt(pk, grads, obfuscate=True)
+    flat_out = enc.scatter_add_rows(idx, num_rows=5)
+    assert all(e.ciphertext != 1 for e in flat_out.data.ravel())
+    expected = np.zeros((5, 2))
+    np.add.at(expected, idx, grads)
+    np.testing.assert_allclose(flat_out.decrypt(sk), expected, atol=1e-9)
+    packed_out = enc.pack(layout, value_bits=layout.acc_operand_bits).scatter_add_rows(
+        idx, num_rows=5
+    )
+    assert all(ct != 1 for ct in packed_out.cts)
+    assert np.array_equal(packed_out.decrypt(sk), flat_out.decrypt(sk))
+
+
+# ---------------------------------------------------------------------------
 # Guard-band overflow must be loud.
 
 
@@ -520,30 +658,138 @@ def test_delta_mode_survives_packing_toggle_off_mid_run():
     assert isinstance(layer._a.enc_v_own, PackedCryptoTensor)
 
 
-def test_embed_layer_packing_bit_identical():
+def _run_embed_layer(packing, emb_dim=3, refresh="reencrypt", steps=2, key_bits=256):
     from repro.core.embed_matmul_layer import EmbedMatMulSource
 
-    def run(packing):
-        ctx = VFLContext(VFLConfig(key_bits=256, packing=packing), seed=13)
-        layer = EmbedMatMulSource(
-            ctx, vocab_a=[3, 4], vocab_b=[5], emb_dim=3, out_dim=4
-        )
-        rng = np.random.default_rng(2)
+    ctx = VFLContext(
+        VFLConfig(key_bits=key_bits, packing=packing, share_refresh=refresh),
+        seed=13,
+    )
+    layer = EmbedMatMulSource(
+        ctx, vocab_a=[3, 4], vocab_b=[5], emb_dim=emb_dim, out_dim=4
+    )
+    rng = np.random.default_rng(2)
+    outs = []
+    for _ in range(steps):
         xa = np.stack(
             [rng.integers(0, 3, size=4), rng.integers(0, 4, size=4)], axis=1
         )
         xb = rng.integers(0, 5, size=(4, 1))
         z = layer.forward(xa, xb)
+        outs.append(z)
         layer.backward(rng.normal(size=(4, 4)))
         layer.apply_updates(0.05, 0.9)
-        return z, layer.reveal_weights(), ctx.channel
+    return outs, layer.reveal_weights(), ctx.channel, layer
 
-    z0, w0, ch0 = run(False)
-    z1, w1, ch1 = run(True)
-    assert np.array_equal(z0, z1)
+
+# emb_dim 4 keeps dense lanes at 256-bit (2 slots); 3 forces padded segments.
+@pytest.mark.parametrize("emb_dim", [3, 4])
+@pytest.mark.parametrize("refresh", ["reencrypt", "delta"])
+def test_embed_layer_packing_bit_identical(emb_dim, refresh):
+    z0, w0, ch0, _ = _run_embed_layer(False, emb_dim=emb_dim, refresh=refresh)
+    z1, w1, ch1, layer = _run_embed_layer(True, emb_dim=emb_dim, refresh=refresh)
+    for a, b in zip(z0, z1):
+        assert np.array_equal(a, b)
     for key in w0:
         assert np.array_equal(w0[key], w1[key])
     assert ch1.total_bytes() < ch0.total_bytes()
+    # The tentpole invariant: [[T]] lives packed end to end, so the forward
+    # lookup and backward lkup_bw transfers never repack per element.
+    assert isinstance(layer._a.enc_t_own, PackedCryptoTensor)
+    assert isinstance(layer._b.enc_t_own, PackedCryptoTensor)
+
+
+def test_embed_delta_mode_survives_packing_toggle_off_mid_run():
+    """Packed resident [[T]] + packing switched off: the next delta refresh
+    must migrate back to per-element instead of crashing (and back again)."""
+    from repro.core.embed_matmul_layer import EmbedMatMulSource
+
+    ctx = VFLContext(
+        VFLConfig(key_bits=256, packing=True, share_refresh="delta"), seed=17
+    )
+    layer = EmbedMatMulSource(ctx, vocab_a=[4], vocab_b=[3], emb_dim=3, out_dim=2)
+    rng = np.random.default_rng(6)
+
+    def step():
+        xa = rng.integers(0, 4, size=(3, 1))
+        xb = rng.integers(0, 3, size=(3, 1))
+        layer.forward(xa, xb)
+        layer.backward(rng.normal(size=(3, 2)))
+        layer.apply_updates(0.05, 0.9)
+
+    step()
+    assert isinstance(layer._a.enc_t_own, PackedCryptoTensor)
+    ctx.config.packing = False
+    step()  # must not raise; migrates back to per-element
+    assert isinstance(layer._a.enc_t_own, CryptoTensor)
+    ctx.config.packing = True
+    step()  # and the upgrade path still works afterwards
+    assert isinstance(layer._a.enc_t_own, PackedCryptoTensor)
+
+
+def test_batch_beyond_designed_depth_raises_at_step_time(monkeypatch):
+    """PACKING_DEPTH_FLOOR only *floors* the designed accumulation depth; a
+    batch larger than what the layouts budgeted for must raise loudly at
+    step time instead of silently corrupting lanes."""
+    from repro.core.embed_matmul_layer import EmbedMatMulSource
+    from repro.core.matmul_layer import MatMulSource
+
+    # The embed guard charges (out_dim + 1)-term rows per lane (its
+    # scattered gradient rows are themselves out_dim-deep contractions);
+    # the layout budgets (out_dim + 1) * floor at init, so the floor keeps
+    # its batch-row meaning.
+    monkeypatch.setattr(EmbedMatMulSource, "PACKING_DEPTH_FLOOR", 4)
+    monkeypatch.setattr(MatMulSource, "PACKING_DEPTH_FLOOR", 4)
+
+    ctx = VFLContext(VFLConfig(key_bits=256, packing=True), seed=19)
+    layer = EmbedMatMulSource(ctx, vocab_a=[4], vocab_b=[3], emb_dim=4, out_dim=2)
+    rng = np.random.default_rng(7)
+    small = (rng.integers(0, 4, size=(4, 1)), rng.integers(0, 3, size=(4, 1)))
+    layer.forward(*small)  # at the designed batch floor: fine
+    big = (rng.integers(0, 4, size=(9, 1)), rng.integers(0, 3, size=(9, 1)))
+    with pytest.raises(OverflowError, match="accumulation depth"):
+        layer.forward(*big)
+    # Inference never runs the batch-deep backward contraction: exempt.
+    layer.forward(*big, train=False)
+
+    ctx2 = VFLContext(VFLConfig(key_bits=256, packing=True), seed=19)
+    mm = MatMulSource(ctx2, in_a=3, in_b=2, out_dim=4)
+    mm.forward(rng.normal(size=(4, 3)), rng.normal(size=(4, 2)))
+    with pytest.raises(OverflowError, match="accumulation depth"):
+        mm.forward(rng.normal(size=(9, 3)), rng.normal(size=(9, 2)))
+    mm.forward(rng.normal(size=(9, 3)), rng.normal(size=(9, 2)), train=False)
+
+
+@pytest.mark.bigkey
+def test_embed_layer_packing_bit_identical_at_production_key():
+    """The 2048-bit acceptance case (opt in with ``pytest -m bigkey``): the
+    full Embed-MatMul step at the paper's production key size, packed vs
+    per-element, bit-identical with a slots-fold cheaper wire."""
+    z0, w0, ch0, _ = _run_embed_layer(
+        False, emb_dim=4, steps=1, key_bits=2048
+    )
+    z1, w1, ch1, layer = _run_embed_layer(
+        True, emb_dim=4, steps=1, key_bits=2048
+    )
+    for a, b in zip(z0, z1):
+        assert np.array_equal(a, b)
+    for key in w0:
+        assert np.array_equal(w0[key], w1[key])
+    assert isinstance(layer._a.enc_t_own, PackedCryptoTensor)
+    assert ch1.total_bytes() * 2 < ch0.total_bytes()
+
+    def gq_bytes(ch):
+        return {
+            m.tag: m.nbytes for m in ch.transcript if ".bwd.gQ_" in m.tag
+        }
+
+    packed_gq, unpacked_gq = gq_bytes(ch1), gq_bytes(ch0)
+    assert packed_gq and packed_gq.keys() == unpacked_gq.keys()
+    for tag, nbytes in packed_gq.items():
+        # The acceptance criterion: the lkup_bw transfer ships at least 2x
+        # fewer ciphertexts/bytes (emb_dim-fold here: whole rows fit one
+        # ciphertext at 18 production slots).
+        assert nbytes * 2 <= unpacked_gq[tag]
 
 
 def test_train_config_packing_override_flips_vfl_config():
