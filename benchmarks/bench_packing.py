@@ -32,6 +32,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.comm import codec
 from repro.comm.channel import payload_nbytes
 from repro.crypto.crypto_tensor import CryptoTensor
 from repro.crypto.packing import PackedCryptoTensor, protocol_layout
@@ -105,6 +106,17 @@ def bench_add(pk, sk, layout, shape: tuple[int, int], repeat: int) -> dict:
     }
 
 
+def _frame_bytes(payload) -> int:
+    """Measured wire size: the payload's actual encoded frame length.
+
+    This is what :class:`repro.comm.channel.SerializingChannel` records per
+    message — body bytes (the ``payload_nbytes`` estimate) plus the codec's
+    framing header — so the benchmark's wire rows report reality, not just
+    the estimator.
+    """
+    return len(codec.encode_payload(payload))
+
+
 def bench_bandwidth(key_bits: int, shapes: list[tuple[int, int]]) -> list[dict]:
     """Ciphertext count + accounted wire bytes for forward-transfer shapes."""
     if key_bits == PRODUCTION_KEY_BITS:
@@ -122,11 +134,14 @@ def bench_bandwidth(key_bits: int, shapes: list[tuple[int, int]]) -> list[dict]:
             "cols": cols,
             "unpacked_cts": unpacked.size,
             "unpacked_bytes": payload_nbytes(unpacked),
+            "unpacked_frame_bytes": _frame_bytes(unpacked),
         }
         if layout is None:
             entry.update(
                 {"slots": 1, "packed_cts": None, "packed_bytes": None,
+                 "packed_frame_bytes": None,
                  "ct_reduction": 1.0, "byte_reduction": 1.0,
+                 "frame_byte_reduction": 1.0,
                  "note": "key too small for packing; per-element fallback"}
             )
         else:
@@ -141,9 +156,12 @@ def bench_bandwidth(key_bits: int, shapes: list[tuple[int, int]]) -> list[dict]:
                     "slot_bits": layout.slot_bits,
                     "packed_cts": packed.n_ciphertexts,
                     "packed_bytes": payload_nbytes(packed),
+                    "packed_frame_bytes": _frame_bytes(packed),
                     "ct_reduction": unpacked.size / packed.n_ciphertexts,
                     "byte_reduction": payload_nbytes(unpacked)
                     / payload_nbytes(packed),
+                    "frame_byte_reduction": _frame_bytes(unpacked)
+                    / _frame_bytes(packed),
                 }
             )
         out.append(entry)
@@ -248,6 +266,9 @@ def bench_lkup_bw(
         "unpacked_bytes": payload_nbytes(unpacked_gq),
         "packed_bytes": payload_nbytes(gq_new),
         "byte_reduction": payload_nbytes(unpacked_gq) / payload_nbytes(gq_new),
+        "unpacked_frame_bytes": _frame_bytes(unpacked_gq),
+        "packed_frame_bytes": _frame_bytes(gq_new),
+        "frame_byte_reduction": _frame_bytes(unpacked_gq) / _frame_bytes(gq_new),
         "scatter_then_pack_s": t_old,
         "pack_then_scatter_s": t_new,
         "speedup_pack_first": None if t_old is None else t_old / t_new,

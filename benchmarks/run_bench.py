@@ -86,8 +86,10 @@ def check_packing(results: dict | None = None) -> dict:
     encryption (it does structurally — one blinding exponentiation per
     ``slots`` values).  Counting gate: at the paper's 2048-bit production
     keys, the HE2SS forward-transfer grid must show at least a
-    ``MIN_PRODUCTION_REDUCTION``-fold drop in both ciphertext count and
-    accounted wire bytes (the PR's acceptance criterion).
+    ``MIN_PRODUCTION_REDUCTION``-fold drop in ciphertext count, accounted
+    wire bytes, *and* measured encoded-frame bytes (the wire codec's real
+    frames, not just the estimator), so the claimed bandwidth win survives
+    honest serialisation overhead.
     """
     if results is None:
         results = bench_packing.run(key_bits=PACKING_KEY_BITS, quick=True, repeat=2)
@@ -107,7 +109,7 @@ def check_packing(results: dict | None = None) -> dict:
     if not production:
         failures.append("no production-key bandwidth rows in the grid")
     for row in production:
-        for metric in ("ct_reduction", "byte_reduction"):
+        for metric in ("ct_reduction", "byte_reduction", "frame_byte_reduction"):
             if row[metric] is None or row[metric] < MIN_PRODUCTION_REDUCTION:
                 failures.append(
                     f"{row['rows']}x{row['cols']} @ {row['key_bits']}b: "

@@ -1,0 +1,64 @@
+"""Two-process BlindFL: guest and host in separate PIDs over real sockets.
+
+The paper's deployment runs each party on its own server; this example is
+that topology in miniature.  A federated LR trains with Party A living in
+one OS process and Party B in another, connected only by a loopback TCP
+socket carrying versioned wire frames (see ``repro.comm.codec`` for the
+frame layout).  Nothing crosses the trust boundary except bytes.
+
+Both endpoints run the same seeded program in lockstep (the protocol code
+is written as one interleaved control flow); each endpoint's *own* party is
+driven entirely by decoded frames read off the socket, and every incoming
+frame is verified against the mirrored prediction — so the run doubles as
+a protocol-conformance check.  The result is bit-identical to the
+single-process quickstart.
+
+Run:  python examples/two_process_sockets.py
+"""
+
+import numpy as np
+
+from repro.comm import VFLConfig, VFLContext
+from repro.comm.transport import run_two_party
+from repro.core import FederatedLR, TrainConfig, train_federated
+from repro.data import make_dense_classification, split_vertical
+
+
+def train_on(channel):
+    """The shared program: build the federation on ``channel`` and train.
+
+    Everything is derived from fixed seeds, so the guest and host
+    processes stay in lockstep; only wire frames synchronise them.
+    """
+    full = make_dense_classification(n=240, dim=24, seed=7, flip=0.05)
+    train_vd = split_vertical(full.subset(np.arange(180)))
+    test_vd = split_vertical(full.subset(np.arange(180, 240)))
+    ctx = VFLContext(
+        VFLConfig(key_bits=256, packing=True), seed=0, channel=channel
+    )
+    model = FederatedLR(ctx, in_a=12, in_b=12)
+    config = TrainConfig(epochs=2, batch_size=32, lr=0.1, momentum=0.9)
+    history = train_federated(model, train_vd, config, test_data=test_vd)
+    return {
+        "auc": history.final_metric,
+        "losses": history.losses,
+        "wire_bytes": channel.total_bytes(),
+        "messages": len(channel.transcript),
+    }
+
+
+def main() -> None:
+    print("spawning guest (Party A) and host (Party B) processes ...")
+    results = run_two_party(train_on, timeout=600.0)
+    guest, host = results["guest"], results["host"]
+    print(f"guest PID view: AUC {guest['auc']:.3f}, "
+          f"{guest['messages']} messages, {guest['wire_bytes'] / 2**20:.1f} MiB on the wire")
+    print(f"host  PID view: AUC {host['auc']:.3f}, "
+          f"{host['messages']} messages, {host['wire_bytes'] / 2**20:.1f} MiB on the wire")
+    assert guest["losses"] == host["losses"], "endpoints diverged!"
+    print("loss trajectories bit-identical across processes — the protocol "
+          "is fully determined by the bytes on the wire")
+
+
+if __name__ == "__main__":
+    main()

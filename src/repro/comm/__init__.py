@@ -1,11 +1,18 @@
-"""Communication runtime: messages, channels, parties, federation context."""
+"""Communication runtime: codec, channels, transport, parties, federation."""
 
-from repro.comm.channel import Channel, payload_nbytes
+from repro.comm.channel import (
+    Channel,
+    SerializingChannel,
+    make_channel,
+    payload_nbytes,
+)
 from repro.comm.message import Message, MessageKind
 from repro.comm.party import Party, VFLConfig, VFLContext
 
 __all__ = [
     "Channel",
+    "SerializingChannel",
+    "make_channel",
     "payload_nbytes",
     "Message",
     "MessageKind",

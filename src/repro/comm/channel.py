@@ -1,12 +1,30 @@
-"""In-memory duplex channel between federated parties.
+"""Duplex channels between federated parties — the three transport tiers.
 
-The paper runs each party on its own server over a 10 Gbps link; here both
-parties live in one process and exchange values through this channel.  What
-matters for fidelity is that (a) *every* cross-party value goes through
-``send``/``recv`` — protocol code never reads the other party's state
-directly — and (b) the channel records a complete transcript, which is
-exactly the "view" that the ideal-real security analysis (and our empirical
-attack suite) reasons about.
+The paper runs each party on its own server over a 10 Gbps link.  This
+module provides three interchangeable channel tiers for that link:
+
+1. :class:`Channel` — in-memory reference passing inside one process.
+   Fastest, but payloads cross as live Python objects; byte counts are
+   *estimates* (:func:`payload_nbytes`).  What matters for fidelity is that
+   (a) *every* cross-party value goes through ``send``/``recv`` — protocol
+   code never reads the other party's state directly — and (b) the channel
+   records a complete transcript, which is exactly the "view" the
+   ideal-real security analysis (and our empirical attack suite) reasons
+   about.
+2. :class:`SerializingChannel` — same process, but every payload round-trips
+   through the wire codec (``encode -> decode``) on each send.  The
+   receiver only ever sees what the bytes carry, ``nbytes`` is the
+   *measured* frame length, and an unserialisable payload fails loudly at
+   the send site.  This is the honest-bytes tier the protocol tests run
+   against.
+3. :class:`~repro.comm.transport.NetworkChannel` — real TCP sockets between
+   separate OS processes (see :mod:`repro.comm.transport`).  Same codec,
+   same transcript semantics; frames actually cross the kernel's network
+   stack.
+
+All tiers share transcript capture, FIFO-per-receiver delivery, tag-checked
+receives and per-sender byte accounting, so protocol code and the security
+test-suite are transport-agnostic.
 """
 
 from __future__ import annotations
@@ -15,9 +33,16 @@ from collections import defaultdict, deque
 
 import numpy as np
 
+from repro.comm import codec
 from repro.comm.message import Message, MessageKind
 
-__all__ = ["Channel", "payload_nbytes"]
+__all__ = [
+    "Channel",
+    "CodecChannel",
+    "SerializingChannel",
+    "make_channel",
+    "payload_nbytes",
+]
 
 
 def payload_nbytes(payload: object, cipher_bytes: int | None = None) -> int:
@@ -30,6 +55,12 @@ def payload_nbytes(payload: object, cipher_bytes: int | None = None) -> int:
     that carry no key.  Packed tensors are charged per *ciphertext*, not
     per logical element — the ``slots``-fold bandwidth saving the packing
     subsystem exists for.  Numpy arrays cost their buffer size.
+
+    This estimator prices payload *bodies* only; the codec adds a small
+    fixed framing overhead (preamble, routing strings, shape/exponent
+    headers) on top.  ``tests/test_codec.py`` pins the two against each
+    other, and :class:`SerializingChannel` records the measured frame
+    length instead of calling this at all.
     """
     # Local import: crypto depends on comm for HE2SS, so keep this lazy.
     from repro.crypto.crypto_tensor import CryptoTensor
@@ -60,7 +91,13 @@ def payload_nbytes(payload: object, cipher_bytes: int | None = None) -> int:
 
 
 class Channel:
-    """FIFO message transport with transcript capture and byte accounting."""
+    """FIFO message transport with transcript capture and byte accounting.
+
+    Subclasses customise two hooks: :meth:`_transcode` (what happens to a
+    message between send and delivery — the serializing tier round-trips
+    it through the wire codec here) and :meth:`_deliver` (how the message
+    reaches the receiver — the network tier writes frames to a socket).
+    """
 
     def __init__(self, record_transcript: bool = True):
         self.record_transcript = record_transcript
@@ -88,14 +125,36 @@ class Channel:
             tag=tag,
             kind=kind,
             payload=payload,
-            nbytes=payload_nbytes(payload),
             seq=self._seq,
         )
+        msg = self._transcode(msg)
         self.bytes_by_sender[sender] += msg.nbytes
         self.messages_by_kind[kind] += 1
         if self.record_transcript:
             self.transcript.append(msg)
-        self._queues[receiver].append(msg)
+        self._deliver(msg)
+
+    def _transcode(self, msg: Message) -> Message:
+        """Hook: transform a message before accounting and delivery.
+
+        The base tier prices the payload with the estimator here; tiers
+        that encode real frames replace this wholesale with the measured
+        frame length, so the O(size) estimate is never computed for them.
+        """
+        msg.nbytes = payload_nbytes(msg.payload)
+        return msg
+
+    def _deliver(self, msg: Message) -> None:
+        """Hook: hand a transcoded message to its receiver."""
+        self._queues[msg.receiver].append(msg)
+
+    def register_public_key(self, public_key: object) -> None:
+        """Hook: tiers with a codec key ring register party keys here.
+
+        The in-memory tier passes objects by reference and needs no ring;
+        this no-op lets :class:`~repro.comm.party.VFLContext` register its
+        keys unconditionally.
+        """
 
     def recv(self, receiver: str, tag: str | None = None) -> object:
         """Dequeue the next message addressed to ``receiver``.
@@ -138,3 +197,54 @@ class Channel:
         self.bytes_by_sender.clear()
         self.messages_by_kind.clear()
         self._seq = 0
+
+
+class CodecChannel(Channel):
+    """Shared base for the tiers that move real frames through the codec.
+
+    Holds the key ring decoded payloads are resolved against: party keys
+    registered via :meth:`register_public_key` are reused during decode,
+    so decoded tensors share the original seeded key objects and whole
+    training trajectories stay bit-identical to the in-memory tier.
+    """
+
+    def __init__(self, record_transcript: bool = True):
+        super().__init__(record_transcript)
+        self.key_ring: dict[int, object] = {}
+
+    def register_public_key(self, public_key: object) -> None:
+        self.key_ring[public_key.n] = public_key
+
+
+class SerializingChannel(CodecChannel):
+    """In-process channel that forces every payload through honest bytes.
+
+    Each ``send`` encodes the full message to a wire frame and delivers
+    the *decoded* frame: the receiver's object is reconstructed purely
+    from bytes, ``nbytes`` is the measured ``len(frame)``, and a payload
+    the codec cannot express raises at the send site.
+    """
+
+    def _transcode(self, msg: Message) -> Message:
+        frame = codec.encode_message(msg)
+        return codec.decode_message(frame, key_ring=self.key_ring)
+
+
+CHANNEL_KINDS = ("memory", "serializing")
+
+
+def make_channel(kind: str, record_transcript: bool = True) -> Channel:
+    """Channel factory for the in-process tiers.
+
+    ``"memory"`` passes objects by reference (fastest); ``"serializing"``
+    round-trips every payload through the wire codec (honest bytes,
+    measured sizes).  The network tier is not constructible here — it
+    needs a connected socket; see :func:`repro.comm.transport.run_two_party`.
+    """
+    if kind == "memory":
+        return Channel(record_transcript=record_transcript)
+    if kind == "serializing":
+        return SerializingChannel(record_transcript=record_transcript)
+    raise ValueError(
+        f"unknown channel kind {kind!r}; expected one of {CHANNEL_KINDS}"
+    )

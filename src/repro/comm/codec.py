@@ -1,0 +1,672 @@
+"""Deterministic wire codec: every cross-party payload as honest bytes.
+
+The in-memory :class:`~repro.comm.channel.Channel` passes live Python
+objects by reference, which proves nothing about what actually crosses the
+trust boundary.  This module is the single place where protocol payloads
+become bytes — the *transcript a party receives* in the sense of the
+ideal-real security analysis — and back.  Three properties are load-bearing:
+
+* **Deterministic**: ``encode(x)`` is a pure function of the payload's
+  public wire representation (``to_wire()`` on the crypto types), so golden
+  transcripts and cross-process lockstep execution are byte-reproducible.
+* **Complete**: every type that today crosses ``Channel.send`` has a frame
+  — tensors of Paillier ciphertexts (per-element and SIMD-packed, with the
+  full five-integer :class:`~repro.crypto.packing.SlotLayout` plus
+  ``seg_cols`` in the header), bare ciphertexts, numpy arrays, public keys
+  (handshake only) and plain Python scalars/containers.  Anything else
+  raises :class:`UnsupportedWireType` loudly — an unknown object silently
+  crossing the boundary is exactly the bug this module exists to prevent.
+* **Non-leaky headers**: packed-tensor headers carry only canonicalised
+  layout constants (see ``PackedCryptoTensor.wire_value_bits``); the
+  security suite asserts header byte-equality across batches with different
+  private magnitudes.
+
+Frame layout (all integers big-endian)::
+
+    preamble   magic   2  b"BF"
+               version 1  WIRE_VERSION
+               kind    1  frame kind: 0x4D message, 0x50 payload, 0x48 hello
+               length  4  bytes remaining after this field
+    body       ...        frame-kind specific
+
+A *message* body is ``msg-kind(1) | seq(8) | sender | receiver | tag |
+payload-blob`` with strings u16-length-prefixed UTF-8.  A *payload blob* is
+``type(1) | header-length(4) | header | body``; the header holds all
+structural metadata (key modulus, shapes, exponents, slot layout), the body
+the raw fixed-width ciphertext residues or array buffer.  Ciphertext
+residues live mod ``n**2`` and are written at the fixed width
+``ceil(bitlen(n**2) / 8)`` — the honest wire cost ``payload_nbytes``
+estimates.
+
+Decoding resolves public keys through an optional ``key_ring`` (a mapping
+``n -> PaillierPublicKey``): channels register their parties' key objects
+so decoded tensors reference the *same* seeded key instances, keeping
+blinding streams — and therefore whole ciphertext transcripts —
+bit-reproducible across channel implementations.  Unknown moduli fall back
+to fresh key objects, so decoding never requires prior key exchange.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+from repro.comm.message import Message, MessageKind
+
+__all__ = [
+    "WIRE_MAGIC",
+    "WIRE_VERSION",
+    "PREAMBLE_SIZE",
+    "FRAME_MESSAGE",
+    "FRAME_PAYLOAD",
+    "FRAME_HELLO",
+    "WireFormatError",
+    "UnsupportedWireType",
+    "encode_payload",
+    "decode_payload",
+    "split_payload",
+    "encode_message",
+    "decode_message",
+    "encode_hello",
+    "decode_hello",
+    "parse_preamble",
+    "payload_summary",
+    "message_summary",
+]
+
+WIRE_MAGIC = b"BF"
+WIRE_VERSION = 1
+PREAMBLE_SIZE = 8
+
+# Frame kinds (the byte after the version).
+FRAME_MESSAGE = 0x4D  # "M": a routed protocol message
+FRAME_PAYLOAD = 0x50  # "P": a bare payload blob (tests, benchmarks)
+FRAME_HELLO = 0x48  # "H": transport handshake
+
+# Payload type codes.
+T_NONE = 0x00
+T_BOOL = 0x01
+T_INT = 0x02
+T_FLOAT = 0x03
+T_STR = 0x04
+T_BYTES = 0x05
+T_LIST = 0x06
+T_TUPLE = 0x07
+T_NDARRAY = 0x10
+T_PUBLIC_KEY = 0x20
+T_ENCRYPTED_NUMBER = 0x21
+T_CRYPTO_TENSOR = 0x22
+T_PACKED_TENSOR = 0x23
+
+_TYPE_NAMES = {
+    T_NONE: "none",
+    T_BOOL: "bool",
+    T_INT: "int",
+    T_FLOAT: "float",
+    T_STR: "str",
+    T_BYTES: "bytes",
+    T_LIST: "list",
+    T_TUPLE: "tuple",
+    T_NDARRAY: "ndarray",
+    T_PUBLIC_KEY: "public_key",
+    T_ENCRYPTED_NUMBER: "encrypted_number",
+    T_CRYPTO_TENSOR: "crypto_tensor",
+    T_PACKED_TENSOR: "packed_crypto_tensor",
+}
+
+
+class WireFormatError(ValueError):
+    """A frame is malformed, truncated, or from an unknown protocol version."""
+
+
+class UnsupportedWireType(TypeError):
+    """A payload type has no wire representation — it must never be sent."""
+
+
+def _crypto():
+    """Crypto types, imported lazily (comm <-> crypto import order)."""
+    global _CRYPTO
+    if _CRYPTO is None:
+        from repro.crypto.crypto_tensor import CryptoTensor
+        from repro.crypto.packing import PackedCryptoTensor, SlotLayout
+        from repro.crypto.paillier import EncryptedNumber, PaillierPublicKey
+
+        _CRYPTO = (
+            CryptoTensor, PackedCryptoTensor, SlotLayout,
+            EncryptedNumber, PaillierPublicKey,
+        )
+    return _CRYPTO
+
+
+_CRYPTO = None
+
+
+# ---------------------------------------------------------------------------
+# Primitive writers/readers.
+
+
+def _u8(x: int) -> bytes:
+    return struct.pack(">B", x)
+
+
+def _u16(x: int) -> bytes:
+    return struct.pack(">H", x)
+
+
+def _u32(x: int) -> bytes:
+    return struct.pack(">I", x)
+
+
+def _u64(x: int) -> bytes:
+    return struct.pack(">Q", x)
+
+
+def _i32(x: int) -> bytes:
+    return struct.pack(">i", x)
+
+
+def _str(s: str) -> bytes:
+    raw = s.encode("utf-8")
+    if len(raw) > 0xFFFF:
+        raise WireFormatError("string field exceeds the 64 KiB wire limit")
+    return _u16(len(raw)) + raw
+
+
+def _bigint(x: int) -> bytes:
+    """Sign byte + u32 length + big-endian magnitude (arbitrary precision)."""
+    x = int(x)
+    sign = 1 if x < 0 else 0
+    mag = abs(x)
+    raw = mag.to_bytes((mag.bit_length() + 7) // 8 or 1, "big")
+    return _u8(sign) + _u32(len(raw)) + raw
+
+
+def _shape(shape: tuple[int, ...]) -> bytes:
+    out = _u8(len(shape))
+    for dim in shape:
+        out += _u64(int(dim))
+    return out
+
+
+class _Reader:
+    """Strict cursor over a byte buffer; every read is bounds-checked."""
+
+    __slots__ = ("buf", "pos")
+
+    def __init__(self, buf: bytes):
+        self.buf = buf
+        self.pos = 0
+
+    def take(self, n: int) -> bytes:
+        if n < 0 or self.pos + n > len(self.buf):
+            raise WireFormatError(
+                f"truncated frame: wanted {n} bytes at offset {self.pos}, "
+                f"have {len(self.buf) - self.pos}"
+            )
+        out = self.buf[self.pos : self.pos + n]
+        self.pos += n
+        return out
+
+    def u8(self) -> int:
+        return self.take(1)[0]
+
+    def u16(self) -> int:
+        return struct.unpack(">H", self.take(2))[0]
+
+    def u32(self) -> int:
+        return struct.unpack(">I", self.take(4))[0]
+
+    def u64(self) -> int:
+        return struct.unpack(">Q", self.take(8))[0]
+
+    def i32(self) -> int:
+        return struct.unpack(">i", self.take(4))[0]
+
+    def str(self) -> str:
+        return self.take(self.u16()).decode("utf-8")
+
+    def bigint(self) -> int:
+        sign = self.u8()
+        if sign not in (0, 1):
+            raise WireFormatError(f"bad bigint sign byte {sign}")
+        mag = int.from_bytes(self.take(self.u32()), "big")
+        return -mag if sign else mag
+
+    def shape(self) -> tuple[int, ...]:
+        return tuple(self.u64() for _ in range(self.u8()))
+
+    def done(self) -> None:
+        if self.pos != len(self.buf):
+            raise WireFormatError(
+                f"{len(self.buf) - self.pos} trailing bytes after a complete frame"
+            )
+
+
+# ---------------------------------------------------------------------------
+# Ciphertext residue batches: fixed width derived from the modulus.
+
+
+def _residue_width(n: int) -> int:
+    """Bytes per ciphertext residue mod ``n**2`` — the honest wire cost."""
+    return ((n * n).bit_length() + 7) // 8
+
+
+def _pack_residues(cts: list[int], width: int) -> bytes:
+    out = bytearray(len(cts) * width)
+    pos = 0
+    for c in cts:
+        out[pos : pos + width] = int(c).to_bytes(width, "big")
+        pos += width
+    return bytes(out)
+
+
+def _unpack_residues(raw: bytes, width: int, count: int) -> list[int]:
+    if len(raw) != width * count:
+        raise WireFormatError(
+            f"ciphertext body holds {len(raw)} bytes, expected {count} x {width}"
+        )
+    return [
+        int.from_bytes(raw[i * width : (i + 1) * width], "big") for i in range(count)
+    ]
+
+
+def _resolve_key(n: int, key_ring: dict | None):
+    """A PaillierPublicKey for modulus ``n``, reusing registered instances.
+
+    Reuse matters beyond speed: the registered objects carry the parties'
+    seeded blinding RNGs, so operating on decoded tensors draws the same
+    obfuscation stream as operating on the originals — transcripts stay
+    bit-reproducible across channel tiers.
+    """
+    if n <= 0:
+        raise WireFormatError("public modulus on the wire must be positive")
+    if key_ring is not None:
+        key = key_ring.get(n)
+        if key is not None:
+            return key
+    PaillierPublicKey = _crypto()[4]
+    key = PaillierPublicKey.from_wire(n)
+    if key_ring is not None:
+        key_ring[n] = key
+    return key
+
+
+# ---------------------------------------------------------------------------
+# Payload encoding.
+
+
+def _encode_parts(payload: object) -> tuple[int, bytes, bytes]:
+    """Lower a payload to ``(type_code, header, body)``."""
+    CryptoTensor, PackedCryptoTensor, _, EncryptedNumber, PaillierPublicKey = _crypto()
+    if payload is None:
+        return T_NONE, b"", b""
+    if isinstance(payload, np.generic):
+        # numpy scalars travel as 0-d arrays so the dtype survives exactly
+        # (np.float64 subclasses float, so this must precede the float case).
+        return _encode_ndarray(np.asarray(payload))
+    if isinstance(payload, bool):  # before int: bool is an int subclass
+        return T_BOOL, _u8(1 if payload else 0), b""
+    if isinstance(payload, int):
+        return T_INT, _bigint(payload), b""
+    if isinstance(payload, float):
+        return T_FLOAT, struct.pack(">d", payload), b""
+    if isinstance(payload, str):
+        return T_STR, b"", payload.encode("utf-8")
+    if isinstance(payload, (bytes, bytearray)):
+        return T_BYTES, b"", bytes(payload)
+    if isinstance(payload, (list, tuple)):
+        # Each item travels as a length-prefixed blob so containers nest
+        # without any type-specific length arithmetic.
+        blobs = [encode_payload(item) for item in payload]
+        body = b"".join(_u32(len(blob)) + blob for blob in blobs)
+        code = T_LIST if isinstance(payload, list) else T_TUPLE
+        return code, _u32(len(payload)), body
+    if isinstance(payload, np.ndarray):
+        return _encode_ndarray(payload)
+    if isinstance(payload, CryptoTensor):
+        return _encode_crypto_tensor(payload)
+    if isinstance(payload, PackedCryptoTensor):
+        return _encode_packed_tensor(payload)
+    if isinstance(payload, EncryptedNumber):
+        n, ct, exponent = payload.to_wire()
+        header = _bigint(n) + _i32(exponent)
+        return T_ENCRYPTED_NUMBER, header, _pack_residues([ct], _residue_width(n))
+    if isinstance(payload, PaillierPublicKey):
+        return T_PUBLIC_KEY, _bigint(payload.to_wire()), b""
+    raise UnsupportedWireType(
+        f"no wire format for payload type {type(payload).__name__}; every "
+        f"object crossing the party boundary must be byte-serialisable"
+    )
+
+
+def _encode_ndarray(arr: np.ndarray) -> tuple[int, bytes, bytes]:
+    if arr.dtype == object:
+        raise UnsupportedWireType("object-dtype arrays have no wire format")
+    if arr.dtype.hasobject:
+        raise UnsupportedWireType("structured arrays have no wire format")
+    # Canonical little-endian, C-order buffer (asarray keeps 0-d shapes,
+    # unlike ascontiguousarray which would promote them to 1-d).
+    canonical = arr.dtype.newbyteorder("<") if arr.dtype.byteorder == ">" else arr.dtype
+    data = np.asarray(arr, dtype=canonical, order="C")
+    header = _str(data.dtype.str) + _shape(data.shape)
+    return T_NDARRAY, header, data.tobytes()
+
+
+def _decode_ndarray(header: _Reader, body: bytes) -> np.ndarray:
+    dtype = np.dtype(header.str())
+    shape = header.shape()
+    size = int(np.prod(shape, dtype=np.int64)) if shape else 1
+    if dtype.itemsize * size != len(body):
+        raise WireFormatError(
+            f"array body holds {len(body)} bytes, expected {size} x {dtype.itemsize}"
+        )
+    # bytearray keeps the decoded array writable without an extra copy.
+    return np.frombuffer(bytearray(body), dtype=dtype).reshape(shape)
+
+
+def _encode_crypto_tensor(tensor) -> tuple[int, bytes, bytes]:
+    shape, cts, exponents = tensor.to_wire()
+    n = tensor.public_key.n
+    header = _bigint(n) + _shape(shape)
+    if isinstance(exponents, int):
+        header += _u8(1) + _i32(exponents)
+    else:
+        header += _u8(0) + b"".join(_i32(e) for e in exponents)
+    return T_CRYPTO_TENSOR, header, _pack_residues(cts, _residue_width(n))
+
+
+def _decode_crypto_tensor(header: _Reader, body: bytes, key_ring: dict | None):
+    CryptoTensor = _crypto()[0]
+    key = _resolve_key(header.bigint(), key_ring)
+    shape = header.shape()
+    size = int(np.prod(shape, dtype=np.int64)) if shape else 1
+    uniform = header.u8()
+    if uniform not in (0, 1):
+        raise WireFormatError(f"bad exponent-uniformity flag {uniform}")
+    exponents: int | list[int]
+    if uniform:
+        exponents = header.i32()
+    else:
+        exponents = [header.i32() for _ in range(size)]
+    cts = _unpack_residues(body, _residue_width(key.n), size)
+    return CryptoTensor.from_wire(key, shape, cts, exponents)
+
+
+def _encode_packed_tensor(tensor) -> tuple[int, bytes, bytes]:
+    wire = tensor.to_wire()
+    n = tensor.public_key.n
+    layout = wire["layout"]
+    header = (
+        _bigint(n)
+        + _u32(layout[0])  # slot_bits
+        + _u32(layout[1])  # slots
+        + _u32(layout[2])  # key_bits
+        + _u32(layout[3])  # base_value_bits
+        + _u64(layout[4])  # acc_depth
+        + _u8(1 if wire["contiguous"] else 0)
+        + _u32(wire["seg_cols"])
+        + _shape(wire["shape"])
+        + _i32(wire["exponent"])
+        + _u32(wire["value_bits"])
+        + _u32(len(wire["cts"]))
+    )
+    return T_PACKED_TENSOR, header, _pack_residues(wire["cts"], _residue_width(n))
+
+
+def _decode_packed_tensor(header: _Reader, body: bytes, key_ring: dict | None):
+    PackedCryptoTensor, SlotLayout = _crypto()[1], _crypto()[2]
+    key = _resolve_key(header.bigint(), key_ring)
+    layout = SlotLayout.from_wire(
+        (header.u32(), header.u32(), header.u32(), header.u32(), header.u64())
+    )
+    contiguous = header.u8()
+    if contiguous not in (0, 1):
+        raise WireFormatError(f"bad contiguity flag {contiguous}")
+    seg_cols = header.u32()
+    shape = header.shape()
+    exponent = header.i32()
+    value_bits = header.u32()
+    count = header.u32()
+    cts = _unpack_residues(body, _residue_width(key.n), count)
+    return PackedCryptoTensor.from_wire(
+        key,
+        layout,
+        cts,
+        shape,
+        exponent,
+        value_bits,
+        contiguous=bool(contiguous),
+        seg_cols=seg_cols or None,
+    )
+
+
+def encode_payload(payload: object) -> bytes:
+    """Serialise one payload to a self-describing blob (no preamble)."""
+    code, header, body = _encode_parts(payload)
+    return _u8(code) + _u32(len(header)) + header + body
+
+
+def split_payload(blob: bytes) -> tuple[int, bytes, bytes]:
+    """Split a payload blob into ``(type_code, header, body)``.
+
+    The header holds every piece of structural metadata the receiver needs
+    before touching ciphertext bytes — it is the part the wire-leakage
+    tests pin, and the part a network stack could route on.
+    """
+    reader = _Reader(blob)
+    code = reader.u8()
+    if code not in _TYPE_NAMES:
+        raise WireFormatError(f"unknown payload type code 0x{code:02x}")
+    header = reader.take(reader.u32())
+    body = reader.take(len(blob) - reader.pos)
+    return code, header, body
+
+
+def decode_payload(blob: bytes, key_ring: dict | None = None) -> object:
+    """Inverse of :func:`encode_payload`; strict about every byte."""
+    code, header_bytes, body = split_payload(blob)
+    header = _Reader(header_bytes)
+    payload = _decode_typed(code, header, body, key_ring)
+    header.done()
+    return payload
+
+
+def _decode_typed(code: int, header: _Reader, body: bytes, key_ring: dict | None):
+    if code == T_NONE:
+        return None
+    if code == T_BOOL:
+        flag = header.u8()
+        if flag not in (0, 1):
+            raise WireFormatError(f"bad bool byte {flag}")
+        return bool(flag)
+    if code == T_INT:
+        return header.bigint()
+    if code == T_FLOAT:
+        return struct.unpack(">d", header.take(8))[0]
+    if code == T_STR:
+        return body.decode("utf-8")
+    if code == T_BYTES:
+        return bytes(body)
+    if code in (T_LIST, T_TUPLE):
+        count = header.u32()
+        items = []
+        reader = _Reader(body)
+        for _ in range(count):
+            items.append(decode_payload(reader.take(reader.u32()), key_ring))
+        reader.done()
+        return items if code == T_LIST else tuple(items)
+    if code == T_NDARRAY:
+        return _decode_ndarray(header, body)
+    if code == T_CRYPTO_TENSOR:
+        return _decode_crypto_tensor(header, body, key_ring)
+    if code == T_PACKED_TENSOR:
+        return _decode_packed_tensor(header, body, key_ring)
+    if code == T_ENCRYPTED_NUMBER:
+        EncryptedNumber = _crypto()[3]
+        key = _resolve_key(header.bigint(), key_ring)
+        exponent = header.i32()
+        (ct,) = _unpack_residues(body, _residue_width(key.n), 1)
+        return EncryptedNumber.from_wire(key, ct, exponent)
+    if code == T_PUBLIC_KEY:
+        return _resolve_key(header.bigint(), key_ring)
+    raise WireFormatError(f"unknown payload type code 0x{code:02x}")
+
+
+# ---------------------------------------------------------------------------
+# Frames: preamble + typed body.
+
+
+def _frame(kind: int, body: bytes) -> bytes:
+    return WIRE_MAGIC + bytes((WIRE_VERSION, kind)) + _u32(len(body)) + body
+
+
+def parse_preamble(preamble: bytes) -> tuple[int, int]:
+    """Validate an 8-byte preamble; returns ``(frame_kind, body_length)``."""
+    if len(preamble) != PREAMBLE_SIZE:
+        raise WireFormatError(f"preamble must be {PREAMBLE_SIZE} bytes")
+    if preamble[:2] != WIRE_MAGIC:
+        raise WireFormatError(f"bad magic {preamble[:2]!r}; not a BlindFL frame")
+    version = preamble[2]
+    if version != WIRE_VERSION:
+        raise WireFormatError(
+            f"wire version {version} not supported (speaking {WIRE_VERSION})"
+        )
+    kind = preamble[3]
+    if kind not in (FRAME_MESSAGE, FRAME_PAYLOAD, FRAME_HELLO):
+        raise WireFormatError(f"unknown frame kind 0x{kind:02x}")
+    return kind, struct.unpack(">I", preamble[4:8])[0]
+
+
+def encode_message(msg: Message) -> bytes:
+    """Serialise a routed protocol message to one framed byte string."""
+    body = (
+        _u8(msg.kind.wire_code)
+        + _u64(msg.seq)
+        + _str(msg.sender)
+        + _str(msg.receiver)
+        + _str(msg.tag)
+        + encode_payload(msg.payload)
+    )
+    return _frame(FRAME_MESSAGE, body)
+
+
+def decode_message(frame: bytes, key_ring: dict | None = None) -> Message:
+    """Inverse of :func:`encode_message`.
+
+    The returned message's ``nbytes`` is the *measured* frame length — what
+    actually crossed (or would cross) the wire, not an estimate.
+    """
+    kind_code, length = parse_preamble(frame[:PREAMBLE_SIZE])
+    if kind_code != FRAME_MESSAGE:
+        raise WireFormatError("frame is not a protocol message")
+    if len(frame) != PREAMBLE_SIZE + length:
+        raise WireFormatError(
+            f"frame length field says {length} body bytes, have "
+            f"{len(frame) - PREAMBLE_SIZE}"
+        )
+    reader = _Reader(frame[PREAMBLE_SIZE:])
+    kind = MessageKind.from_wire(reader.u8())
+    seq = reader.u64()
+    sender = reader.str()
+    receiver = reader.str()
+    tag = reader.str()
+    payload = decode_payload(reader.take(len(reader.buf) - reader.pos), key_ring)
+    return Message(
+        sender=sender,
+        receiver=receiver,
+        tag=tag,
+        kind=kind,
+        payload=payload,
+        nbytes=len(frame),
+        seq=seq,
+    )
+
+
+def encode_hello(parties: list[str], public_keys: list | None = None) -> bytes:
+    """Transport handshake: version check + party-ownership declaration."""
+    keys = list(public_keys or [])
+    return _frame(
+        FRAME_HELLO, encode_payload(("blindfl-wire", sorted(parties), keys))
+    )
+
+
+def decode_hello(frame: bytes, key_ring: dict | None = None) -> tuple[list[str], list]:
+    kind_code, _ = parse_preamble(frame[:PREAMBLE_SIZE])
+    if kind_code != FRAME_HELLO:
+        raise WireFormatError("frame is not a handshake hello")
+    proto, parties, keys = decode_payload(frame[PREAMBLE_SIZE:], key_ring)
+    if proto != "blindfl-wire":
+        raise WireFormatError(f"handshake names unknown protocol {proto!r}")
+    return list(parties), list(keys)
+
+
+# ---------------------------------------------------------------------------
+# Summaries: the protocol-conformance view of a transcript (golden tests).
+
+
+def payload_summary(payload: object) -> dict:
+    """Structural summary of a payload's wire header — no ciphertext bytes.
+
+    This is the record the protocol-conformance golden tests pin: it
+    captures everything a future refactor could silently change about the
+    wire (types, shapes, exponents, slot layouts) while staying independent
+    of the ciphertext randomness.
+    """
+    CryptoTensor, PackedCryptoTensor, _, EncryptedNumber, PaillierPublicKey = _crypto()
+    if isinstance(payload, CryptoTensor):
+        shape, cts, exponents = payload.to_wire()
+        return {
+            "type": "crypto_tensor",
+            "key_bits": payload.public_key.key_bits,
+            "shape": list(shape),
+            "exponent": exponents if isinstance(exponents, int) else "mixed",
+            "n_cts": len(cts),
+        }
+    if isinstance(payload, PackedCryptoTensor):
+        wire = payload.to_wire()
+        return {
+            "type": "packed_crypto_tensor",
+            "key_bits": payload.public_key.key_bits,
+            "layout": list(wire["layout"]),
+            "contiguous": wire["contiguous"],
+            "seg_cols": wire["seg_cols"],
+            "shape": list(wire["shape"]),
+            "exponent": wire["exponent"],
+            "value_bits": wire["value_bits"],
+            "n_cts": len(wire["cts"]),
+        }
+    if isinstance(payload, EncryptedNumber):
+        return {
+            "type": "encrypted_number",
+            "key_bits": payload.public_key.key_bits,
+            "exponent": payload.exponent,
+        }
+    if isinstance(payload, PaillierPublicKey):
+        return {"type": "public_key", "key_bits": payload.key_bits}
+    if isinstance(payload, np.ndarray):
+        return {
+            "type": "ndarray",
+            "dtype": np.dtype(payload.dtype).str,
+            "shape": list(payload.shape),
+        }
+    if isinstance(payload, (list, tuple)):
+        return {
+            "type": "list" if isinstance(payload, list) else "tuple",
+            "items": [payload_summary(item) for item in payload],
+        }
+    return {"type": type(payload).__name__}
+
+
+def message_summary(msg: Message) -> dict:
+    """Conformance record of one transcript message (golden-test row)."""
+    frame = encode_message(msg)
+    return {
+        "seq": msg.seq,
+        "sender": msg.sender,
+        "receiver": msg.receiver,
+        "tag": msg.tag,
+        "kind": msg.kind.value,
+        "nbytes": len(frame),
+        "payload": payload_summary(msg.payload),
+    }

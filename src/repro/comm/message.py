@@ -34,6 +34,28 @@ class MessageKind(enum.Enum):
     PLAINTEXT = "plaintext"
     """Unprotected sensitive value.  Only baselines may send these."""
 
+    @property
+    def wire_code(self) -> int:
+        """Stable one-byte code for the wire codec (never renumber)."""
+        return _WIRE_CODES[self]
+
+    @classmethod
+    def from_wire(cls, code: int) -> "MessageKind":
+        try:
+            return _KINDS_BY_CODE[code]
+        except KeyError:
+            raise ValueError(f"unknown MessageKind wire code {code}") from None
+
+
+_WIRE_CODES = {
+    MessageKind.CIPHERTEXT: 1,
+    MessageKind.SHARE: 2,
+    MessageKind.OUTPUT_SHARE: 3,
+    MessageKind.PUBLIC: 4,
+    MessageKind.PLAINTEXT: 5,
+}
+_KINDS_BY_CODE = {code: kind for kind, code in _WIRE_CODES.items()}
+
 
 @dataclass
 class Message:

@@ -16,7 +16,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.comm.channel import Channel
+from repro.comm.channel import CHANNEL_KINDS, Channel, make_channel
 from repro.crypto.paillier import (
     DEFAULT_KEY_BITS,
     PaillierPrivateKey,
@@ -48,6 +48,15 @@ class VFLConfig:
             touched by the batch (the sparse-aware mode; see DESIGN.md §3).
         record_transcript: keep the full message transcript (the security
             tests need it; long benchmarks may disable it to save memory).
+        channel: which in-process channel tier carries the protocol (see
+            :mod:`repro.comm.channel`): ``"memory"`` passes live objects by
+            reference, ``"serializing"`` round-trips every payload through
+            the wire codec so the transcript is honest bytes and ``nbytes``
+            is measured.  Both tiers produce bit-identical training
+            trajectories.  The cross-process socket tier is not selected
+            here — it needs a connected socket; pass a ready
+            :class:`~repro.comm.transport.NetworkChannel` to
+            :class:`VFLContext` instead.
         packing: SIMD-slot ciphertext batching (see
             :mod:`repro.crypto.packing`).  When on, weight pieces that are
             only ever used as ``plain @ cipher`` right operands are
@@ -68,10 +77,13 @@ class VFLConfig:
     share_refresh: str = "reencrypt"
     record_transcript: bool = True
     packing: bool = False
+    channel: str = "memory"
 
     def __post_init__(self) -> None:
         if self.share_refresh not in ("reencrypt", "delta"):
             raise ValueError("share_refresh must be 'reencrypt' or 'delta'")
+        if self.channel not in CHANNEL_KINDS:
+            raise ValueError(f"channel must be one of {CHANNEL_KINDS}")
 
 
 @dataclass
@@ -106,11 +118,19 @@ class VFLContext:
         config: VFLConfig | None = None,
         seed: int = 0,
         n_a_parties: int = 1,
+        channel: Channel | None = None,
     ):
         if n_a_parties < 1:
             raise ValueError("need at least one Party A")
         self.config = config or VFLConfig()
-        self.channel = Channel(record_transcript=self.config.record_transcript)
+        # An explicit channel instance (e.g. a connected NetworkChannel)
+        # overrides the config's in-process tier selection.
+        if channel is None:
+            channel = make_channel(
+                self.config.channel,
+                record_transcript=self.config.record_transcript,
+            )
+        self.channel = channel
         if n_a_parties == 1:
             a_names = ["A"]
         else:
@@ -131,6 +151,34 @@ class VFLContext:
                 if other.name != party.name:
                     party.peer_public_keys[other.name] = other.public_key
         self.a_names = a_names
+        self._register_keys(self.channel)
+
+    def _register_keys(self, channel: Channel) -> None:
+        """Register every party key with a channel's codec key ring.
+
+        Serializing tiers resolve decoded payloads against these objects,
+        so received tensors share the parties' seeded blinding RNGs and
+        transcripts stay bit-reproducible across channel implementations.
+        """
+        for party in self.parties.values():
+            channel.register_public_key(party.public_key)
+
+    def set_channel(self, channel: Channel) -> None:
+        """Swap the federation onto a different channel tier.
+
+        Only legal at a protocol quiescence point: every queue of the old
+        channel must be drained (layers hold no in-flight messages between
+        training steps).  Transcript and byte counters start fresh on the
+        new channel.
+        """
+        for name in self.parties:
+            if self.channel.pending(name):
+                raise RuntimeError(
+                    f"cannot swap channels with undelivered messages for "
+                    f"party {name!r}"
+                )
+        self._register_keys(channel)
+        self.channel = channel
 
     @property
     def A(self) -> Party:

@@ -1,0 +1,355 @@
+"""Cross-process socket transport: parties in separate PIDs, bytes on a wire.
+
+This is the third channel tier (see :mod:`repro.comm.channel`): a
+:class:`NetworkChannel` carries protocol frames over a real TCP connection
+between two OS processes, so the only thing that ever crosses the trust
+boundary is what the wire codec can express as bytes.
+
+Execution model — deterministic lockstep mirroring
+--------------------------------------------------
+The protocol layers are written as a single interleaved control flow that
+performs *both* parties' steps (the in-process fidelity trick the seed repo
+started from).  The socket tier keeps that code unchanged by running the
+**same seeded program in both processes** and splitting *ownership*:
+
+* each endpoint owns a subset of parties (``local_parties``);
+* a ``send`` whose receiver is **remote** writes the encoded frame to the
+  socket, and also delivers the locally *decoded* copy so the mirrored
+  simulation of the remote party continues — from exactly the bytes the
+  real remote receives;
+* a ``send`` whose receiver is **local** transmits nothing (the peer's
+  mirror performs the real transmission) and instead records what frame the
+  wire must produce next;
+* a ``recv`` for a **local** party blocks on the socket, decodes the
+  incoming frame, and verifies it against that recorded expectation —
+  sender, receiver, tag, kind, sequence number and frame length must all
+  match, otherwise the endpoints desynchronised and we fail loudly.
+
+Because every RNG in the federation is seeded (party RNGs, key generation,
+blinding pools), the two mirrored processes draw identical randomness, so a
+local party's state is *driven entirely by decoded wire bytes* while
+remaining bit-identical to a single-process run — which is precisely the
+protocol-conformance property the test-suite pins: byte-real transport with
+zero protocol drift.
+
+Deadlock safety: every socket read honours a hard ``timeout``, and the
+:func:`run_two_party` driver enforces an overall deadline, terminating both
+children — a wedged protocol fails fast instead of hanging the suite.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue as queue_mod
+import socket
+import time
+import traceback
+from dataclasses import dataclass
+
+from repro.comm import codec
+from repro.comm.channel import CodecChannel
+from repro.comm.message import Message
+
+__all__ = ["NetworkChannel", "TransportError", "run_two_party"]
+
+
+class TransportError(RuntimeError):
+    """Socket-level failure: timeout, truncated frame, or peer desync."""
+
+
+def _recv_exact(sock: socket.socket, n: int) -> bytes:
+    buf = bytearray()
+    while len(buf) < n:
+        try:
+            chunk = sock.recv(n - len(buf))
+        except socket.timeout:
+            raise TransportError(
+                "timed out waiting for a frame — protocol deadlock or a "
+                "crashed peer"
+            ) from None
+        if not chunk:
+            raise TransportError("peer closed the connection mid-frame")
+        buf += chunk
+    return bytes(buf)
+
+
+def read_frame(sock: socket.socket) -> bytes:
+    """Read one complete wire frame (preamble-validated) from a socket."""
+    preamble = _recv_exact(sock, codec.PREAMBLE_SIZE)
+    _, length = codec.parse_preamble(preamble)
+    return preamble + _recv_exact(sock, length)
+
+
+@dataclass
+class _Expectation:
+    """What the mirror predicts the next incoming frame must contain."""
+
+    sender: str
+    receiver: str
+    tag: str
+    kind: object
+    seq: int
+    nbytes: int
+
+
+class NetworkChannel(CodecChannel):
+    """A :class:`Channel` whose remote hop is a real TCP connection.
+
+    ``local_parties`` declares which parties live in this process; the
+    complement lives at the peer.  Transcript capture and byte accounting
+    cover *all* messages (the full mirrored protocol), with ``nbytes``
+    measured from encoded frames, so ``total_bytes`` agrees across
+    endpoints and with the in-process serializing tier.
+    """
+
+    def __init__(
+        self,
+        sock: socket.socket,
+        local_parties: set[str] | frozenset[str] | list[str],
+        record_transcript: bool = True,
+    ):
+        super().__init__(record_transcript)
+        self.sock = sock
+        self.local_parties = frozenset(local_parties)
+        if not self.local_parties:
+            raise ValueError("a network endpoint must own at least one party")
+
+    # ------------------------------------------------------------- handshake
+
+    def handshake(self) -> frozenset[str]:
+        """Exchange hellos: version check + disjoint party ownership.
+
+        Returns the peer's party set.  Public keys are *not* shipped here —
+        both endpoints derive identical seeded keys when they build their
+        federation contexts; the hello only pins protocol version and
+        ownership so a mis-paired launch fails before any protocol byte.
+        """
+        self.sock.sendall(codec.encode_hello(sorted(self.local_parties)))
+        frame = read_frame(self.sock)
+        peer_parties, keys = codec.decode_hello(frame, key_ring=self.key_ring)
+        overlap = self.local_parties & set(peer_parties)
+        if overlap:
+            raise TransportError(
+                f"both endpoints claim ownership of parties {sorted(overlap)}"
+            )
+        return frozenset(peer_parties)
+
+    # ------------------------------------------------------------ send/recv
+
+    def _dispatch_frame(self, msg: Message) -> Message:
+        frame = codec.encode_message(msg)
+        # One FIFO queue per receiver holds *either* delivered messages
+        # (local hops and mirrored remote deliveries) or socket
+        # expectations, so ordering between the two is preserved exactly.
+        if msg.receiver in self.local_parties and msg.sender not in self.local_parties:
+            # The authoritative bytes come from the peer's socket write;
+            # predict what they must decode to (routing fields + frame
+            # length — the peer's frame is bit-identical to our mirror's,
+            # so no throwaway payload decode is needed here; recv() does
+            # the one real decode when the frame arrives).
+            msg.nbytes = len(frame)
+            self._queues[msg.receiver].append(
+                _Expectation(
+                    sender=msg.sender,
+                    receiver=msg.receiver,
+                    tag=msg.tag,
+                    kind=msg.kind,
+                    seq=msg.seq,
+                    nbytes=msg.nbytes,
+                )
+            )
+            return msg
+        decoded = codec.decode_message(frame, key_ring=self.key_ring)
+        if msg.sender in self.local_parties and msg.receiver not in self.local_parties:
+            # Remote receiver: this endpoint performs the real
+            # transmission; the mirrored decoded copy continues the remote
+            # party's simulation from exactly the bytes the peer receives.
+            self.sock.sendall(frame)
+        # Remote-to-remote mirrors and purely local hops (e.g. two
+        # co-located A parties) deliver the decoded copy like the
+        # serializing tier.
+        self._queues[msg.receiver].append(decoded)
+        return decoded
+
+    def _transcode(self, msg: Message) -> Message:
+        return self._dispatch_frame(msg)
+
+    def _deliver(self, msg: Message) -> None:
+        # Delivery happened in _dispatch_frame (queue or expectation).
+        return None
+
+    def recv(self, receiver: str, tag: str | None = None) -> object:
+        queue = self._queues[receiver]
+        if not queue:
+            raise LookupError(f"no pending message for party {receiver!r}")
+        entry = queue.popleft()
+        if isinstance(entry, _Expectation):
+            frame = read_frame(self.sock)
+            msg = codec.decode_message(frame, key_ring=self.key_ring)
+            observed = (
+                msg.sender, msg.receiver, msg.tag, msg.kind, msg.seq, msg.nbytes,
+            )
+            predicted = (
+                entry.sender, entry.receiver, entry.tag, entry.kind,
+                entry.seq, entry.nbytes,
+            )
+            if observed != predicted:
+                raise TransportError(
+                    f"wire frame diverged from the mirrored protocol: "
+                    f"expected {predicted}, decoded {observed}"
+                )
+        else:
+            msg = entry
+        if tag is not None and msg.tag != tag:
+            raise LookupError(
+                f"protocol desync: party {receiver!r} expected tag {tag!r} "
+                f"but next message is {msg.tag!r}"
+            )
+        return msg.payload
+
+    def shutdown(self) -> None:
+        """Verify the protocol drained cleanly, then close the socket.
+
+        Both unread wire frames (expectations) and unconsumed mirrored
+        deliveries count as an undrained protocol — either means this
+        endpoint's recv sequence fell short of its send sequence.
+        """
+        leftovers = {
+            party: len(q) for party, q in self._queues.items() if q
+        }
+        try:
+            if leftovers:
+                raise TransportError(
+                    f"protocol ended with undelivered messages pending for "
+                    f"{leftovers}"
+                )
+        finally:
+            try:
+                self.sock.close()
+            except OSError:  # pragma: no cover - best-effort close
+                pass
+
+
+# ---------------------------------------------------------------------------
+# Two-process party runner.
+
+
+def _endpoint_main(
+    role: str,
+    local_parties: frozenset[str],
+    program,
+    args: tuple,
+    port_queue,
+    result_queue,
+    timeout: float,
+    record_transcript: bool,
+) -> None:
+    """Child-process entry: wire up the socket, run the program, report."""
+    sock = None
+    listener = None
+    try:
+        if role == "host":
+            listener = socket.create_server(("127.0.0.1", 0))
+            listener.settimeout(timeout)
+            port_queue.put(listener.getsockname()[1])
+            sock, _ = listener.accept()
+        else:
+            port = port_queue.get(timeout=timeout)
+            sock = socket.create_connection(("127.0.0.1", port), timeout=timeout)
+        sock.settimeout(timeout)
+        channel = NetworkChannel(
+            sock, local_parties, record_transcript=record_transcript
+        )
+        channel.handshake()
+        result = program(channel, *args)
+        channel.shutdown()
+        result_queue.put((role, True, result))
+    except BaseException:
+        result_queue.put((role, False, traceback.format_exc()))
+    finally:
+        for s in (sock, listener):
+            if s is not None:
+                try:
+                    s.close()
+                except OSError:
+                    pass
+
+
+def run_two_party(
+    program,
+    args: tuple = (),
+    *,
+    guest_parties: tuple[str, ...] = ("A",),
+    host_parties: tuple[str, ...] = ("B",),
+    timeout: float = 120.0,
+    record_transcript: bool = True,
+    start_method: str | None = None,
+) -> dict[str, object]:
+    """Run ``program`` as guest and host in separate OS processes.
+
+    ``program(channel, *args)`` must be deterministic given its arguments
+    (build the federation from seeds, train, return a picklable digest);
+    both endpoints execute it in lockstep over a loopback TCP connection.
+    Returns ``{"guest": result, "host": result}``.
+
+    A hard deadline of ``timeout`` seconds covers connection setup, every
+    socket read, and the overall run: a deadlocked or crashed protocol
+    terminates both children and raises :class:`TransportError` instead of
+    hanging the caller.
+    """
+    if start_method is None:
+        start_method = (
+            "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
+        )
+    mp = multiprocessing.get_context(start_method)
+    port_queue = mp.Queue()
+    result_queue = mp.Queue()
+    children = {
+        role: mp.Process(
+            target=_endpoint_main,
+            args=(
+                role,
+                frozenset(parties),
+                program,
+                tuple(args),
+                port_queue,
+                result_queue,
+                timeout,
+                record_transcript,
+            ),
+            daemon=True,
+            name=f"blindfl-{role}",
+        )
+        for role, parties in (("host", host_parties), ("guest", guest_parties))
+    }
+    for child in children.values():
+        child.start()
+    results: dict[str, object] = {}
+    failures: dict[str, str] = {}
+    deadline = time.monotonic() + timeout
+    try:
+        for _ in range(len(children)):
+            try:
+                remaining = max(0.0, deadline - time.monotonic())
+                role, ok, payload = result_queue.get(timeout=remaining)
+            except queue_mod.Empty:
+                raise TransportError(
+                    f"two-party run produced no result within {timeout}s — "
+                    f"protocol deadlock; terminating both endpoints"
+                ) from None
+            if ok:
+                results[role] = payload
+            else:
+                failures[role] = payload
+    finally:
+        for child in children.values():
+            child.join(timeout=5.0)
+            if child.is_alive():
+                child.terminate()
+                child.join(timeout=5.0)
+    if failures:
+        detail = "\n\n".join(
+            f"--- {role} endpoint failed ---\n{tb}" for role, tb in failures.items()
+        )
+        raise TransportError(f"two-party run failed:\n{detail}")
+    return results

@@ -224,6 +224,21 @@ class FederatedModule(Module):
             params.extend(layer.federated_parameters())
         return params
 
+    def federation_contexts(self) -> Iterator[object]:
+        """Every distinct :class:`~repro.comm.party.VFLContext` in the model.
+
+        Multi-source models (WDL, DLRM) usually share one context, but the
+        API allows one per layer; trainer-level knobs that touch federation
+        state (packing, channel tier, blinding pools) iterate this to hit
+        each context exactly once.
+        """
+        seen: set[int] = set()
+        for layer in self.source_layers():
+            ctx = getattr(layer, "ctx", None)
+            if ctx is not None and id(ctx) not in seen:
+                seen.add(id(ctx))
+                yield ctx
+
     def top_parameters(self) -> list[Tensor]:
         """The plaintext (Party B) parameters."""
         return list(self.parameters())

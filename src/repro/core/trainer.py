@@ -50,6 +50,12 @@ class TrainConfig:
     leaves the federation config as built): SIMD-slot ciphertext batching
     cuts ciphertext count, blinding exponentiations and wire bytes by the
     slot factor on forward transfers and share refreshes.
+    ``channel`` swaps every federation context onto a different in-process
+    channel tier before the first batch (``"memory"`` object passing or
+    ``"serializing"`` honest bytes with measured sizes; ``None`` keeps the
+    channel the contexts were built with).  The swap starts transcript and
+    byte counters fresh, so a training run's accounting excludes the
+    layers' initialisation traffic.
     """
 
     epochs: int = 10
@@ -60,6 +66,7 @@ class TrainConfig:
     parallel_workers: int = 0
     blinding_pool_per_epoch: int = 0
     packing: bool | None = None
+    channel: str | None = None
 
 
 @dataclass
@@ -96,6 +103,8 @@ def train_federated(
     history = History(metric_name=metric_name)
     if config.packing is not None:
         _set_packing(model, config.packing)
+    if config.channel is not None:
+        _set_channel(model, config.channel)
     if config.parallel_workers >= 2:
         engine = use_parallel(ParallelContext(workers=config.parallel_workers))
     else:
@@ -133,11 +142,26 @@ def _set_packing(model: FederatedModule, enabled: bool) -> None:
     upgrade to packed form at their next share refresh.
     """
     seen: set[int] = set()
-    for layer in model.source_layers():
-        cfg = getattr(getattr(layer, "ctx", None), "config", None)
+    for ctx in model.federation_contexts():
+        cfg = getattr(ctx, "config", None)
         if cfg is not None and id(cfg) not in seen and hasattr(cfg, "packing"):
             seen.add(id(cfg))
             cfg.packing = enabled
+
+
+def _set_channel(model: FederatedModule, kind: str) -> None:
+    """Swap every federation context onto a fresh channel of ``kind``.
+
+    Layer construction already drained its init traffic, so the swap is a
+    quiescence-point operation; :meth:`VFLContext.set_channel` re-registers
+    the party keys with the new channel's codec ring.
+    """
+    from repro.comm.channel import make_channel
+
+    for ctx in model.federation_contexts():
+        ctx.set_channel(
+            make_channel(kind, record_transcript=ctx.config.record_transcript)
+        )
 
 
 def _prefill_blinding(
@@ -145,8 +169,7 @@ def _prefill_blinding(
 ) -> None:
     """Refill every party key's obfuscation pool at an epoch boundary."""
     seen: set[int] = set()
-    for layer in model.source_layers():
-        ctx = getattr(layer, "ctx", None)
+    for ctx in model.federation_contexts():
         parties = getattr(ctx, "parties", None)
         if not parties:
             continue

@@ -309,6 +309,38 @@ class CryptoTensor:
             contiguous=contiguous,
         )
 
+    # -- wire format ----------------------------------------------------------
+
+    def to_wire(self) -> tuple[tuple[int, ...], list[int], int | list[int]]:
+        """``(shape, ciphertexts, exponents)`` for the wire codec.
+
+        Exponents collapse to a single int when uniform (the overwhelmingly
+        common case — kernels emit aligned batches), so the wire header
+        stays O(1) instead of O(size).
+        """
+        cts, exps = _flat_parts(self.data)
+        first = exps[0] if exps else TENSOR_EXPONENT
+        uniform = all(e == first for e in exps)
+        return self.data.shape, cts, (first if uniform else exps)
+
+    @classmethod
+    def from_wire(
+        cls,
+        public_key: PaillierPublicKey,
+        shape: tuple[int, ...],
+        cts: list[int],
+        exponents: int | list[int],
+    ) -> "CryptoTensor":
+        """Rebuild a tensor from wire fields (inverse of :meth:`to_wire`)."""
+        size = int(np.prod(shape, dtype=np.int64)) if shape else 1
+        if len(cts) != size:
+            raise ValueError(
+                f"wire tensor carries {len(cts)} ciphertexts for shape {shape}"
+            )
+        if not isinstance(exponents, int) and len(exponents) != size:
+            raise ValueError("wire tensor exponent count does not match its shape")
+        return cls(public_key, _wrap(public_key, cts, exponents, tuple(shape)))
+
     @staticmethod
     def vstack(tensors: Iterable["CryptoTensor"]) -> "CryptoTensor":
         tensors = list(tensors)

@@ -212,6 +212,33 @@ class SlotLayout:
                 f"but the {public_key.key_bits}-bit key offers {cap}"
             )
 
+    def to_wire(self) -> tuple[int, int, int, int, int]:
+        """The five layout integers, in canonical field order.
+
+        Sender and receiver must agree on all five before a packed
+        ciphertext can be interpreted; a networked transport serialises
+        exactly this tuple in every packed-payload header.
+        """
+        return (
+            self.slot_bits,
+            self.slots,
+            self.key_bits,
+            self.base_value_bits,
+            self.acc_depth,
+        )
+
+    @classmethod
+    def from_wire(cls, fields: tuple[int, int, int, int, int]) -> "SlotLayout":
+        """Rebuild a layout from its wire tuple (validates in __post_init__)."""
+        slot_bits, slots, key_bits, base_value_bits, acc_depth = fields
+        return cls(
+            slot_bits=int(slot_bits),
+            slots=int(slots),
+            key_bits=int(key_bits),
+            base_value_bits=int(base_value_bits),
+            acc_depth=int(acc_depth),
+        )
+
     @classmethod
     def design(
         cls,
@@ -1086,6 +1113,68 @@ class PackedCryptoTensor:
                     pos += 1
                     col += 1
         return CryptoTensor(pk, flat.reshape(self.shape))
+
+    # -- wire format ----------------------------------------------------------
+
+    @property
+    def wire_value_bits(self) -> int:
+        """``value_bits`` canonicalised to a layout constant for the wire.
+
+        The live bound is derived from private operands (magnitudes,
+        per-row sparsity), so shipping it verbatim would leak through the
+        header.  Two public levels suffice: tensors inside the designed
+        operand budget advertise ``base_value_bits`` (weight/table pieces,
+        fresh encryptions), everything else the full ``lane_cap_bits``
+        guard band (HE2SS transfers, which the receiver only decrypts).
+        Both are ≥ the true bound, so receiver-side overflow guards stay
+        sound — merely a little more conservative — and a wrong bound is
+        still caught at decode by the borrow-chain check.
+        """
+        if self.value_bits <= self.layout.base_value_bits:
+            return self.layout.base_value_bits
+        return self.layout.lane_cap_bits
+
+    def to_wire(self) -> dict:
+        """Wire fields of a packed tensor (header metadata + residues).
+
+        ``value_bits`` is canonicalised (see :attr:`wire_value_bits`) —
+        the serialized header carries nothing the unpacked protocol's
+        headers would not.
+        """
+        return {
+            "layout": self.layout.to_wire(),
+            "contiguous": self.contiguous,
+            "seg_cols": self.seg_cols,
+            "shape": self.shape,
+            "exponent": self.exponent,
+            "value_bits": self.wire_value_bits,
+            "cts": self.cts,
+        }
+
+    @classmethod
+    def from_wire(
+        cls,
+        public_key: PaillierPublicKey,
+        layout: SlotLayout,
+        cts: list[int],
+        shape: tuple[int, ...],
+        exponent: int,
+        value_bits: int,
+        contiguous: bool = False,
+        seg_cols: int | None = None,
+    ) -> "PackedCryptoTensor":
+        """Rebuild from wire fields; the constructor re-validates geometry."""
+        layout.check_key(public_key)
+        return cls(
+            public_key,
+            layout,
+            list(cts),
+            tuple(int(d) for d in shape),
+            int(exponent),
+            int(value_bits),
+            contiguous=bool(contiguous),
+            seg_cols=None if contiguous else seg_cols,
+        )
 
     # -- guard-band bookkeeping ----------------------------------------------
 

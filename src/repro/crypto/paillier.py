@@ -167,6 +167,27 @@ class PaillierPublicKey:
         """An unobfuscated encryption of zero (accumulator seed)."""
         return EncryptedNumber(self, 1, exponent)
 
+    # -- wire format ---------------------------------------------------------
+
+    def to_wire(self) -> int:
+        """The key's public wire representation: just the modulus ``n``.
+
+        Public keys cross the channel only during the initialisation
+        handshake; everything else (``nsquare``, ``max_int``) is derived.
+        """
+        return self.n
+
+    @classmethod
+    def from_wire(cls, n: int) -> "PaillierPublicKey":
+        """Rebuild a key from its wire modulus.
+
+        The rebuilt key carries a *fresh* (OS-seeded) blinding RNG — fine
+        for decryption and homomorphic arithmetic, but channels that need
+        bit-reproducible obfuscation streams should resolve decoded keys
+        against their registered originals (see the codec's key ring).
+        """
+        return cls(int(n))
+
     def __eq__(self, other: object) -> bool:
         return isinstance(other, PaillierPublicKey) and self.n == other.n
 
@@ -379,6 +400,18 @@ class EncryptedNumber:
             self.public_key.nsquare
         )
         return EncryptedNumber(self.public_key, blinded, self.exponent)
+
+    # -- wire format ---------------------------------------------------------
+
+    def to_wire(self) -> tuple[int, int, int]:
+        """``(n, ciphertext, exponent)`` — everything a receiver needs."""
+        return self.public_key.n, self.ciphertext, self.exponent
+
+    @classmethod
+    def from_wire(
+        cls, public_key: PaillierPublicKey, ciphertext: int, exponent: int
+    ) -> "EncryptedNumber":
+        return cls(public_key, int(ciphertext), int(exponent))
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"EncryptedNumber(exponent={self.exponent})"

@@ -24,6 +24,7 @@ def test_examples_exist():
         "recommendation_dlrm",
         "privacy_attacks_demo",
         "multiparty_lr",
+        "two_process_sockets",
     } <= names
 
 

@@ -186,6 +186,68 @@ def test_matmul_lossless_property(batch, out_dim):
     np.testing.assert_allclose(z, x_a @ w["W_A"] + x_b @ w["W_B"], atol=1e-4)
 
 
+def _packed_step_headers(seed, data_scale, sparsity_mask, key_bits=256):
+    """Wire headers of every message in one packed MatMul training step.
+
+    The header is everything :func:`repro.comm.codec.split_payload` returns
+    before the ciphertext body — key modulus, slot layout, ``seg_cols``,
+    shapes, exponents, ``value_bits``.  ``data_scale`` and ``sparsity_mask``
+    vary the *private* operands between runs; headers must not notice.
+    """
+    from repro.comm import codec
+
+    ctx = VFLContext(
+        VFLConfig(key_bits=key_bits, packing=True, channel="serializing"),
+        seed=seed,
+    )
+    layer = MatMulSource(ctx, 4, 3, 2, name="wl")
+    rng = np.random.default_rng(77)
+    x_a = rng.normal(size=(5, 4)) * data_scale
+    x_a *= sparsity_mask
+    x_b = rng.normal(size=(5, 3)) * data_scale
+    layer.forward(x_a, x_b)
+    layer.backward(rng.normal(size=(5, 2)) * 0.01 * data_scale)
+    layer.apply_updates(lr=0.05, momentum=0.9)
+    headers = []
+    for msg in ctx.channel.transcript:
+        blob = codec.encode_payload(msg.payload)
+        code, header, _body = codec.split_payload(blob)
+        headers.append((msg.tag, msg.kind.value, code, header))
+    return headers
+
+
+def test_packed_wire_headers_carry_only_layout_constants():
+    """Serialized packed headers are byte-equal across private inputs.
+
+    Two training steps with different feature magnitudes and a different
+    sparsity pattern must produce byte-identical wire *headers* at every
+    transcript position: the packed metadata (slot layout, ``seg_cols``,
+    ``value_bits``, exponents, shapes) is canonicalised to public layout
+    constants, so the only thing that varies on the wire is ciphertext
+    bodies and masked share values — exactly what the unpacked protocol
+    reveals.  A data-dependent ``value_bits`` (derived from private
+    magnitudes or per-row fan-in) would fail this byte-for-byte check.
+    """
+    mask_dense = np.ones((5, 4))
+    mask_sparse = np.ones((5, 4))
+    mask_sparse[1:4, 1:3] = 0.0  # different sparsity pattern
+    run1 = _packed_step_headers(seed=8, data_scale=0.05, sparsity_mask=mask_dense)
+    run2 = _packed_step_headers(seed=8, data_scale=4.0, sparsity_mask=mask_sparse)
+    assert len(run1) == len(run2)
+    saw_packed = False
+    from repro.comm import codec
+
+    for (tag1, kind1, code1, header1), (tag2, kind2, code2, header2) in zip(
+        run1, run2
+    ):
+        assert (tag1, kind1, code1) == (tag2, kind2, code2)
+        assert header1 == header2, (
+            f"wire header for {tag1!r} depends on private operands"
+        )
+        saw_packed = saw_packed or code1 == codec.T_PACKED_TENSOR
+    assert saw_packed, "scenario never exercised a packed payload"
+
+
 @given(st.integers(min_value=2, max_value=6))
 @settings(max_examples=5, deadline=None)
 def test_embed_lossless_property(vocab):
