@@ -1,0 +1,292 @@
+"""Microbenchmark for the key-owner decrypt engine.
+
+BlindFL's federated source layers make the key owner decrypt every
+HE2SS-masked transfer each batch, so once the encrypt/matmul side is fast
+(PRs 1-3) ``raw_decrypt`` and blinding-pool refills dominate the serial
+cost.  This bench measures the three decrypt-side optimisations:
+
+* **Batched CRT decryption** — ``kernels.decrypt_flat`` vs the legacy
+  per-``EncryptedNumber`` object path (``sk.decrypt`` per element), plus
+  the same batch sharded across the :class:`~repro.crypto.parallel.
+  ParallelContext` *private* worker tier (bit-identity verified; real
+  speedup needs real cores — on the 1-CPU CI box the parallel row measures
+  dispatch overhead and is informational only).
+* **Packed decryption** — a packed tensor costs one CRT decryption per
+  ``slots`` values; the CRT-pow reduction is deterministic counting.
+* **λ-exponent blinding refill** — classic mode pays a ``key_bits``-bit
+  exponent per ``r^n`` blinder; the λ-shortcut pays λ bits per ``h^x``
+  (plus a one-time ``key_bits``-bit pow for ``h``).  Because pow cost is
+  linear in exponent bits at fixed modulus, the machine-independent gate
+  is **exponent bit-work**, not wall clock.
+
+The bench key is 256-bit (pure-Python arithmetic stays fast); λ is scaled
+to the toy key the same way the production deployment scales it — 2048-bit
+keys use λ=128 (a 16x exponent reduction), so the 256-bit bench uses λ=32
+(8x) rather than pretending the production λ is meaningful against a toy
+modulus half its size.  A counting-only production row records the real
+2048/λ=128 ratio without timing big-key pows.
+
+Emits ``BENCH_decrypt.json`` at the repo root::
+
+    PYTHONPATH=src python benchmarks/bench_decrypt.py            # full grid
+    PYTHONPATH=src python benchmarks/bench_decrypt.py --quick    # CI sizes
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import random
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.crypto import kernels
+from repro.crypto.crypto_tensor import CryptoTensor, TENSOR_EXPONENT
+from repro.crypto.packing import PackedCryptoTensor, protocol_layout
+from repro.crypto.paillier import (
+    DEFAULT_BLINDING_LAMBDA,
+    PaillierPublicKey,
+    generate_paillier_keypair,
+)
+from repro.crypto.parallel import ParallelContext
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+# Production accounting constants (counting-only row; no big-key pows).
+PRODUCTION_KEY_BITS = 2048
+BENCH_BLINDING_LAMBDA = 32  # key_bits/λ = 8, mirroring 2048/128 = 16 at toy scale
+
+
+def _timeit(fn, repeat: int = 1) -> tuple[float, object]:
+    """Best-of-``repeat`` wall time and the last result (for verification)."""
+    best = float("inf")
+    result = None
+    for _ in range(repeat):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def bench_decrypt_flat(pk, sk, size: int, repeat: int, workers: int) -> dict:
+    """Batched CRT decrypt: legacy objects vs flat kernel vs private pool."""
+    rng = np.random.default_rng(0)
+    values = rng.normal(size=size)
+    tensor = CryptoTensor.encrypt(pk, values, obfuscate=True)
+    cts = [enc.ciphertext for enc in tensor.data.ravel()]
+
+    t_legacy, out_legacy = _timeit(
+        lambda: np.array([sk.decrypt(enc) for enc in tensor.data.ravel()]), repeat
+    )
+    t_kernel, out_kernel = _timeit(
+        lambda: kernels.decrypt_flat(sk, cts, TENSOR_EXPONENT), repeat
+    )
+    if not np.array_equal(out_legacy, out_kernel):  # pragma: no cover - tripwire
+        raise AssertionError("kernel and legacy decrypt disagree")
+    entry = {
+        "size": size,
+        "crt_pows": 2 * size,  # two half-size pows per ciphertext, all paths
+        "legacy_s": t_legacy,
+        "kernel_s": t_kernel,
+        "legacy_decrypts_per_s": size / t_legacy,
+        "kernel_decrypts_per_s": size / t_kernel,
+        "speedup_kernel": t_legacy / t_kernel,
+        "legacy_matches_kernel": True,
+    }
+    if workers >= 2:
+        with ParallelContext(workers=workers, min_jobs=1) as ctx:
+            t_par, out_par = _timeit(
+                lambda: kernels.decrypt_flat(sk, cts, TENSOR_EXPONENT, ctx), repeat
+            )
+        if not np.array_equal(out_kernel, out_par):  # pragma: no cover - tripwire
+            raise AssertionError("parallel decrypt diverged from serial")
+        entry["kernel_parallel_s"] = t_par
+        entry["speedup_parallel_vs_kernel"] = t_kernel / t_par
+        entry["parallel_workers"] = workers
+        entry["parallel_matches_serial"] = True
+    return entry
+
+
+def bench_packed_decrypt(pk, sk, rows: int, cols: int, repeat: int) -> dict:
+    """Packed decrypt: one CRT decryption per ``slots`` values (counting)."""
+    layout = protocol_layout(pk, mask_scale=2.0**16, acc_depth=64)
+    if layout is None:  # pragma: no cover - bench keys always fit two slots
+        raise AssertionError("bench key too small for packing")
+    rng = np.random.default_rng(1)
+    values = rng.normal(size=(rows, cols))
+    packed = PackedCryptoTensor.encrypt(pk, values, layout, obfuscate=True)
+    unpacked = CryptoTensor.encrypt(pk, values, obfuscate=True)
+    u_cts = [enc.ciphertext for enc in unpacked.data.ravel()]
+    t_unpacked, out_u = _timeit(
+        lambda: kernels.decrypt_flat(sk, u_cts, TENSOR_EXPONENT), repeat
+    )
+    t_packed, out_p = _timeit(lambda: packed.decrypt(sk), repeat)
+    if not np.array_equal(np.asarray(out_u).reshape(rows, cols), out_p):
+        raise AssertionError("packed decrypt disagrees with per-element decrypt")
+    return {
+        "rows": rows,
+        "cols": cols,
+        "slots": layout.slots,
+        "unpacked_cts": rows * cols,
+        "packed_cts": len(packed.cts),
+        "crt_pow_reduction": (rows * cols) / len(packed.cts),
+        "unpacked_s": t_unpacked,
+        "packed_s": t_packed,
+        "speedup_packed": t_unpacked / t_packed,
+    }
+
+
+def bench_blinding(pk, sk, count: int, lam: int, repeat: int) -> dict:
+    """Blinder refill: classic ``r^n`` vs λ-shortcut ``h^x`` (same modulus).
+
+    The gate metric is exponent bit-work (machine-independent); wall times
+    ride along as informational rows.  Validity of the λ blinders is
+    checked by decrypting a blinded encryption of zero.
+    """
+    n = pk.n
+    classic = PaillierPublicKey(n, rng=random.Random(99), blinding_lambda=0)
+    fast = PaillierPublicKey(n, rng=random.Random(99), blinding_lambda=lam)
+    # Count *before* computing anything so the λ row pays its one-time h.
+    bitwork_old = classic.blinding_bitwork(count)
+    bitwork_new = fast.blinding_bitwork(count)
+    t_old, _ = _timeit(lambda: classic.blinding_factors(count), repeat)
+    t_new, blinders = _timeit(lambda: fast.blinding_factors(count), repeat)
+    # Every λ blinder must be a valid n-th power: Enc(0) * h^x decrypts to 0.
+    for b in blinders[: min(8, len(blinders))]:
+        if sk.raw_decrypt(b % pk.nsquare) != 0:  # pragma: no cover - tripwire
+            raise AssertionError("λ blinder is not an encryption-of-zero factor")
+    return {
+        "key_bits": pk.key_bits,
+        "count": count,
+        "blinding_lambda": lam,
+        "bitwork_old": bitwork_old,
+        "bitwork_new": bitwork_new,
+        "bitwork_reduction": bitwork_old / bitwork_new,
+        "old_s": t_old,
+        "new_s": t_new,
+        "speedup_timed": t_old / t_new,
+        "blinders_valid": True,
+    }
+
+
+def production_blinding_row(count: int) -> dict:
+    """Counting-only λ accounting at the paper's 2048-bit production key.
+
+    Uses the key's own ``blinding_bitwork`` accounting (pow cost is linear
+    in exponent bits at fixed modulus) against a synthetic 2048-bit modulus
+    — no keygen, no 2048-bit pows timed on CI, but the gated number stays
+    tied to the implementation's cost model rather than a re-derived
+    formula.
+    """
+    lam = DEFAULT_BLINDING_LAMBDA
+    n = (1 << (PRODUCTION_KEY_BITS - 1)) | 1  # bit-length is all that matters
+    bitwork_old = PaillierPublicKey(n, blinding_lambda=0).blinding_bitwork(count)
+    bitwork_new = PaillierPublicKey(n, blinding_lambda=lam).blinding_bitwork(count)
+    return {
+        "key_bits": PRODUCTION_KEY_BITS,
+        "count": count,
+        "blinding_lambda": lam,
+        "counting_only": True,
+        "bitwork_old": bitwork_old,
+        "bitwork_new": bitwork_new,
+        "bitwork_reduction": bitwork_old / bitwork_new,
+    }
+
+
+def run(
+    key_bits: int = 256,
+    quick: bool = False,
+    workers: int = 2,
+    repeat: int = 1,
+    blinding_lambda: int = BENCH_BLINDING_LAMBDA,
+) -> dict:
+    pk, sk = generate_paillier_keypair(key_bits, seed=54321)
+    if quick:
+        decrypt_sizes = [64]
+        packed_cfg = (8, 8)
+        blinder_count = 64
+    else:
+        decrypt_sizes = [128, 512]
+        packed_cfg = (32, 16)
+        blinder_count = 256
+    results: dict = {
+        "meta": {
+            "key_bits": key_bits,
+            "quick": quick,
+            "parallel_workers": workers,
+            "bench_blinding_lambda": blinding_lambda,
+            "default_blinding_lambda": DEFAULT_BLINDING_LAMBDA,
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            # Parallel speedup requires real cores; on a 1-CPU box the
+            # parallel rows measure pure dispatch overhead (informational).
+            "cpu_count": os.cpu_count(),
+        },
+        "decrypt_flat": [
+            bench_decrypt_flat(pk, sk, size, repeat, workers)
+            for size in decrypt_sizes
+        ],
+        "packed_decrypt": bench_packed_decrypt(pk, sk, *packed_cfg, repeat),
+        "blinding": bench_blinding(pk, sk, blinder_count, blinding_lambda, repeat),
+        "blinding_production": production_blinding_row(blinder_count),
+    }
+    return results
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--key-bits", type=int, default=256)
+    parser.add_argument("--quick", action="store_true", help="small CI-sized grid")
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--repeat", type=int, default=1)
+    parser.add_argument(
+        "--blinding-lambda", type=int, default=BENCH_BLINDING_LAMBDA
+    )
+    parser.add_argument("--out", type=Path, default=REPO_ROOT / "BENCH_decrypt.json")
+    args = parser.parse_args(argv)
+    results = run(
+        key_bits=args.key_bits,
+        quick=args.quick,
+        workers=args.workers,
+        repeat=args.repeat,
+        blinding_lambda=args.blinding_lambda,
+    )
+    args.out.write_text(json.dumps(results, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    for entry in results["decrypt_flat"]:
+        line = (
+            f"decrypt {entry['size']}: legacy {entry['legacy_s']:.3f}s  "
+            f"kernel {entry['kernel_s']:.3f}s  "
+            f"speedup {entry['speedup_kernel']:.2f}x"
+        )
+        if "kernel_parallel_s" in entry:
+            line += (
+                f"  parallel({entry['parallel_workers']}w) "
+                f"{entry['kernel_parallel_s']:.3f}s "
+                f"({entry['speedup_parallel_vs_kernel']:.2f}x over serial)"
+            )
+        print(line)
+    pd = results["packed_decrypt"]
+    print(
+        f"packed decrypt {pd['rows']}x{pd['cols']} ({pd['slots']} slots): "
+        f"{pd['packed_cts']} cts vs {pd['unpacked_cts']} "
+        f"({pd['crt_pow_reduction']:.1f}x fewer CRT pows, "
+        f"{pd['speedup_packed']:.2f}x timed)"
+    )
+    bl = results["blinding"]
+    pr = results["blinding_production"]
+    print(
+        f"blinding refill @{bl['key_bits']}b λ={bl['blinding_lambda']}: "
+        f"{bl['bitwork_reduction']:.1f}x less pow bit-work "
+        f"({bl['speedup_timed']:.2f}x timed); production @{pr['key_bits']}b "
+        f"λ={pr['blinding_lambda']}: {pr['bitwork_reduction']:.1f}x (counting)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

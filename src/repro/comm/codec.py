@@ -16,6 +16,9 @@ ideal-real security analysis — and back.  Three properties are load-bearing:
   (handshake only) and plain Python scalars/containers.  Anything else
   raises :class:`UnsupportedWireType` loudly — an unknown object silently
   crossing the boundary is exactly the bug this module exists to prevent.
+  ``PaillierPrivateKey`` (and any carrier exposing one, e.g. a ``Party``)
+  is refused by name: there is deliberately *no* wire format for ``(p, q)``
+  — private keys must never leave the key owner's process.
 * **Non-leaky headers**: packed-tensor headers carry only canonicalised
   layout constants (see ``PackedCryptoTensor.wire_value_bits``); the
   security suite asserts header byte-equality across batches with different
@@ -130,11 +133,15 @@ def _crypto():
     if _CRYPTO is None:
         from repro.crypto.crypto_tensor import CryptoTensor
         from repro.crypto.packing import PackedCryptoTensor, SlotLayout
-        from repro.crypto.paillier import EncryptedNumber, PaillierPublicKey
+        from repro.crypto.paillier import (
+            EncryptedNumber,
+            PaillierPrivateKey,
+            PaillierPublicKey,
+        )
 
         _CRYPTO = (
             CryptoTensor, PackedCryptoTensor, SlotLayout,
-            EncryptedNumber, PaillierPublicKey,
+            EncryptedNumber, PaillierPublicKey, PaillierPrivateKey,
         )
     return _CRYPTO
 
@@ -298,7 +305,25 @@ def _resolve_key(n: int, key_ring: dict | None):
 
 def _encode_parts(payload: object) -> tuple[int, bytes, bytes]:
     """Lower a payload to ``(type_code, header, body)``."""
-    CryptoTensor, PackedCryptoTensor, _, EncryptedNumber, PaillierPublicKey = _crypto()
+    (
+        CryptoTensor, PackedCryptoTensor, _, EncryptedNumber,
+        PaillierPublicKey, PaillierPrivateKey,
+    ) = _crypto()
+    if isinstance(payload, PaillierPrivateKey) or (
+        isinstance(getattr(payload, "private_key", None), PaillierPrivateKey)
+    ):
+        # The custody boundary of the whole protocol: there is deliberately
+        # no wire format for private-key material, because any party that
+        # learns (p, q) can decrypt every ciphertext under the key.  Private
+        # keys stay inside the key-owning process; parallel decryption ships
+        # CRT constants only to that process's own pool children (see
+        # repro.crypto.parallel), never through a Channel.
+        raise UnsupportedWireType(
+            f"refusing to serialise {type(payload).__name__}: Paillier "
+            f"private-key material (p, q) must never leave the key owner's "
+            f"process. Send the public key for encryption, or HE2SS shares "
+            f"for values the peer needs in the clear."
+        )
     if payload is None:
         return T_NONE, b"", b""
     if isinstance(payload, np.generic):
@@ -613,7 +638,10 @@ def payload_summary(payload: object) -> dict:
     wire (types, shapes, exponents, slot layouts) while staying independent
     of the ciphertext randomness.
     """
-    CryptoTensor, PackedCryptoTensor, _, EncryptedNumber, PaillierPublicKey = _crypto()
+    (
+        CryptoTensor, PackedCryptoTensor, _, EncryptedNumber,
+        PaillierPublicKey, _private,
+    ) = _crypto()
     if isinstance(payload, CryptoTensor):
         shape, cts, exponents = payload.to_wire()
         return {

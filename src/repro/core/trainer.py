@@ -56,6 +56,12 @@ class TrainConfig:
     channel the contexts were built with).  The swap starts transcript and
     byte counters fresh, so a training run's accounting excludes the
     layers' initialisation traffic.
+    ``blinding_lambda`` overrides every party key's obfuscation mode for
+    this run (``None`` keeps the keys as built): λ > 0 switches to the
+    λ-exponent blinding shortcut (blinders ``h^x`` for random λ-bit ``x``
+    instead of a fresh ``key_bits``-bit ``r^n`` pow each — the blinding
+    pool refills ~``key_bits``/λ times faster), 0 restores the classic
+    mode.
     """
 
     epochs: int = 10
@@ -67,6 +73,7 @@ class TrainConfig:
     blinding_pool_per_epoch: int = 0
     packing: bool | None = None
     channel: str | None = None
+    blinding_lambda: int | None = None
 
 
 @dataclass
@@ -105,6 +112,8 @@ def train_federated(
         _set_packing(model, config.packing)
     if config.channel is not None:
         _set_channel(model, config.channel)
+    if config.blinding_lambda is not None:
+        _set_blinding_lambda(model, config.blinding_lambda)
     if config.parallel_workers >= 2:
         engine = use_parallel(ParallelContext(workers=config.parallel_workers))
     else:
@@ -162,6 +171,23 @@ def _set_channel(model: FederatedModule, kind: str) -> None:
         ctx.set_channel(
             make_channel(kind, record_transcript=ctx.config.record_transcript)
         )
+
+
+def _set_blinding_lambda(model: FederatedModule, blinding_lambda: int) -> None:
+    """Flip every party key's blinding mode for this run.
+
+    Pooled blinders stay valid across the flip (both modes produce n-th
+    powers) and drain FIFO before the new mode computes anything.
+    """
+    seen: set[int] = set()
+    for ctx in model.federation_contexts():
+        parties = getattr(ctx, "parties", None)
+        if not parties:
+            continue
+        for party in parties.values():
+            if id(party.public_key) not in seen:
+                seen.add(id(party.public_key))
+                party.public_key.set_blinding_lambda(blinding_lambda)
 
 
 def _prefill_blinding(

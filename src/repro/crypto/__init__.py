@@ -39,6 +39,7 @@ from repro.crypto.parallel import (
     use_parallel,
 )
 from repro.crypto.paillier import (
+    DEFAULT_BLINDING_LAMBDA,
     DEFAULT_KEY_BITS,
     EncryptedNumber,
     PaillierPrivateKey,
@@ -84,6 +85,7 @@ __all__ = [
     "PaillierPrivateKey",
     "generate_paillier_keypair",
     "DEFAULT_KEY_BITS",
+    "DEFAULT_BLINDING_LAMBDA",
     "additive_share",
     "reconstruct",
     "he2ss_split",

@@ -20,6 +20,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.crypto import kernels
+from repro.crypto.math_utils import powmod
 from repro.crypto.paillier import PaillierPrivateKey, PaillierPublicKey
 
 __all__ = [
@@ -177,16 +179,23 @@ class PaillierTripleGenerator:
         helper_share = np.empty((n_rows, k), dtype=np.uint64)
         owner_share = np.empty((n_rows, k), dtype=np.uint64)
         nsq = pk.nsquare
+        # Helper side: accumulate + mask every entry first, collecting the
+        # masked ciphertexts in row-major order ...
+        masked_cts: list[int] = []
         for i in range(n_rows):
             for j in range(k):
                 acc = 1  # Enc(0)
                 for t in range(m):
-                    term = pow(enc_a[i][t], int(b[t, j]), nsq)
+                    term = powmod(enc_a[i][t], int(b[t, j]), nsq)
                     acc = (acc * term) % nsq
                 mask = int(self._rng.integers(0, 2**63)) << 40  # ~103-bit mask
-                acc = (acc * pk.raw_encrypt(mask)) % nsq
                 helper_share[i, j] = np.uint64((-mask) % (2**64))
-                owner_share[i, j] = np.uint64(sk.raw_decrypt(acc) % (2**64))
+                masked_cts.append((acc * pk.raw_encrypt(mask)) % nsq)
+        # ... then the owner decrypts the whole batch through the CRT
+        # kernel (sharded across the private worker tier when a parallel
+        # context is configured) instead of n*k Python-level raw_decrypts.
+        for pos, raw in enumerate(kernels.crt_decrypt_many(sk, masked_cts)):
+            owner_share[pos // k, pos % k] = np.uint64(raw % (2**64))
         if owner == 0:
             return owner_share, helper_share
         return helper_share, owner_share

@@ -132,12 +132,23 @@ class CryptoTensor:
         size = int(np.prod(shape, dtype=np.int64)) if shape else 1
         return cls(public_key, _wrap(public_key, [1] * size, exponent, shape))
 
-    def decrypt(self, private_key: PaillierPrivateKey) -> np.ndarray:
-        """Decrypt elementwise back to float64 (batched CRT kernel)."""
+    def decrypt(
+        self,
+        private_key: PaillierPrivateKey,
+        parallel: ParallelContext | None = None,
+    ) -> np.ndarray:
+        """Decrypt elementwise back to float64 (batched CRT kernel).
+
+        With a :class:`~repro.crypto.parallel.ParallelContext` configured
+        (explicitly or as the process default), the CRT exponentiations
+        shard across the key owner's private worker tier, bit-identically.
+        """
         if private_key.public_key != self.public_key:
             raise ValueError("ciphertext was encrypted under a different key")
         cts, exps = _flat_parts(self.data)
-        return kernels.decrypt_flat(private_key, cts, exps).reshape(self.data.shape)
+        return kernels.decrypt_flat(private_key, cts, exps, parallel).reshape(
+            self.data.shape
+        )
 
     # -- shape plumbing --------------------------------------------------------
 

@@ -48,6 +48,7 @@ __all__ = [
     "PLAIN_EXPONENT",
     "encode_flat",
     "encrypt_flat",
+    "crt_decrypt_many",
     "decrypt_flat",
     "align_flat",
     "add_cipher_flat",
@@ -174,27 +175,45 @@ def encrypt_flat(
     return cts
 
 
+def crt_decrypt_many(
+    private_key,
+    cts: Sequence[int],
+    parallel: ParallelContext | None = None,
+) -> list[int]:
+    """Raw CRT decryptions ``c -> m`` with ``m in [0, n)`` for a batch.
+
+    The serial path mirrors ``PaillierPrivateKey.raw_decrypt`` exactly;
+    when a :class:`~repro.crypto.parallel.ParallelContext` is active and
+    the batch clears its gate, the work shards across the context's
+    *private* worker tier (CRT constants shipped once to the key owner's
+    own OS children — see the custody notes in ``repro.crypto.parallel``),
+    bit-identical to serial.
+    """
+    ctx = _resolve(parallel)
+    if ctx is not None and ctx.should_parallelize(len(cts)):
+        return ctx.crt_decrypt_many(private_key, cts)
+    raw_decrypt = private_key.raw_decrypt
+    return [raw_decrypt(c) for c in cts]
+
+
 def decrypt_flat(
-    private_key, cts: Sequence[int], exponents: int | Sequence[int]
+    private_key,
+    cts: Sequence[int],
+    exponents: int | Sequence[int],
+    parallel: ParallelContext | None = None,
 ) -> np.ndarray:
     """CRT-decrypt a flat ciphertext batch to float64.
 
     ``exponents`` is either one uniform exponent or a per-element sequence
     (ragged tensors appear after the mul-by-one shortcut or mixed adds).
+    The CRT exponentiations go through :func:`crt_decrypt_many`, so a
+    configured parallel context shards them across the private worker tier.
     """
     pk = private_key.public_key
     n, max_int = pk.n, pk.max_int
-    p, q = private_key.p, private_key.q
-    psq, qsq = private_key.psquare, private_key.qsquare
-    hp, hq = private_key.hp, private_key.hq
-    p_inv = private_key.p_inverse
-    pm1, qm1 = p - 1, q - 1
     uniform = isinstance(exponents, int)
     out = np.empty(len(cts), dtype=np.float64)
-    for i, c in enumerate(cts):
-        mp = ((powmod(c, pm1, psq) - 1) // p * hp) % p
-        mq = ((powmod(c, qm1, qsq) - 1) // q * hq) % q
-        m = mp + ((mq - mp) * p_inv % q) * p
+    for i, m in enumerate(crt_decrypt_many(private_key, cts, parallel)):
         if m <= max_int:
             mantissa = m
         elif m >= n - max_int:

@@ -76,7 +76,7 @@ import numpy as np
 from repro.crypto import kernels
 from repro.crypto.crypto_tensor import CryptoTensor
 from repro.crypto.kernels import PLAIN_EXPONENT, TENSOR_EXPONENT, raw_mul_many
-from repro.crypto.math_utils import invmod, powmod
+from repro.crypto.math_utils import invmod
 from repro.crypto.paillier import EncryptedNumber, PaillierPublicKey
 from repro.crypto.parallel import ParallelContext
 
@@ -427,31 +427,28 @@ def pack_decrypt_flat(
     rows: int,
     cols: int,
     exponent: int,
+    parallel: ParallelContext | None = None,
 ) -> np.ndarray:
     """CRT-decrypt a packed batch and split lanes back to float64.
 
     Mirrors the unpacked ``decrypt_flat`` arithmetic exactly (same CRT,
     same guard-band check, same ``ldexp`` decode), then runs the signed
-    borrow split per ciphertext.
+    borrow split per ciphertext.  The CRT exponentiations go through the
+    batch :func:`~repro.crypto.kernels.crt_decrypt_many` path, so a
+    configured parallel context shards them across the key owner's private
+    worker tier, bit-identical to serial.
     """
     pk = private_key.public_key
     n, max_int = pk.n, pk.max_int
-    p, q = private_key.p, private_key.q
-    psq, qsq = private_key.psquare, private_key.qsquare
-    hp, hq = private_key.hp, private_key.hq
-    p_inv = private_key.p_inverse
-    pm1, qm1 = p - 1, q - 1
     cpr = layout.ct_count(cols)
     if len(cts) != rows * cpr:
         raise ValueError("ciphertext count does not match the packed shape")
+    raw = kernels.crt_decrypt_many(private_key, cts, parallel)
     out = np.empty((rows, cols), dtype=np.float64)
     for r in range(rows):
         col = 0
         for b in range(cpr):
-            c = cts[r * cpr + b]
-            mp = ((powmod(c, pm1, psq) - 1) // p * hp) % p
-            mq = ((powmod(c, qm1, qsq) - 1) // q * hq) % q
-            m = mp + ((mq - mp) * p_inv % q) * p
+            m = raw[r * cpr + b]
             if m <= max_int:
                 packed = m
             elif m >= n - max_int:
@@ -1070,24 +1067,32 @@ class PackedCryptoTensor:
 
     # -- decrypt / unpack -----------------------------------------------------
 
-    def decrypt(self, private_key) -> np.ndarray:
+    def decrypt(self, private_key, parallel: ParallelContext | None = None) -> np.ndarray:
         """Batched CRT decrypt + lane split back to float64."""
         if private_key.public_key != self.public_key:
             raise ValueError("ciphertext was encrypted under a different key")
         rows, cols = self._pack_view()
         out = pack_decrypt_flat(
-            private_key, self.cts, self.layout, rows, cols, self.exponent
+            private_key, self.cts, self.layout, rows, cols, self.exponent,
+            parallel=parallel,
         )
         return out.reshape(self.shape)
 
-    def unpack(self, private_key, obfuscate: bool = False) -> CryptoTensor:
+    def unpack(
+        self,
+        private_key,
+        obfuscate: bool = False,
+        parallel: ParallelContext | None = None,
+    ) -> CryptoTensor:
         """Lower to a per-element :class:`CryptoTensor` (key owner only).
 
         Paillier has no homomorphic lane extraction, so unpacking decrypts
         each packed ciphertext to its signed lane mantissas and re-encrypts
         them individually at the same exponent — the round-trip
         ``tensor.pack(layout).unpack(sk)`` decodes bit-identically to
-        ``tensor``.
+        ``tensor``.  The ciphertexts go through one batched (optionally
+        parallel) ``crt_decrypt_many`` instead of per-element
+        ``raw_decrypt`` calls.
         """
         if private_key.public_key != self.public_key:
             raise ValueError("ciphertext was encrypted under a different key")
@@ -1097,11 +1102,12 @@ class PackedCryptoTensor:
         rows, cols = self._pack_view()
         cpr = self.layout.ct_count(cols)  # per view row (= per segment)
         slots = self.layout.slots
+        raw = kernels.crt_decrypt_many(private_key, self.cts, parallel)
         pos = 0
         for r in range(rows):
             col = 0
             for b in range(cpr):
-                m = private_key.raw_decrypt(self.cts[r * cpr + b])
+                m = raw[r * cpr + b]
                 if m > max_int and m < n - max_int:
                     raise OverflowError(
                         "packed encoding fell in the overflow guard band"

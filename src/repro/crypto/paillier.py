@@ -32,7 +32,7 @@ import random
 from collections import deque
 
 from repro.crypto.encoding import EncodedNumber
-from repro.crypto.math_utils import generate_prime, invmod, powmod
+from repro.crypto.math_utils import generate_prime, invmod, powmod, powmod_base_many
 
 __all__ = [
     "PaillierPublicKey",
@@ -40,17 +40,37 @@ __all__ = [
     "generate_paillier_keypair",
     "EncryptedNumber",
     "DEFAULT_KEY_BITS",
+    "DEFAULT_BLINDING_LAMBDA",
 ]
 
 DEFAULT_KEY_BITS = 256
+
+# Statistical parameter of the λ-exponent blinding shortcut: instead of a
+# fresh ``r^n mod n^2`` per obfuscation (a ``key_bits``-bit exponent), the
+# key precomputes one ``h = r0^n`` and draws blinders as ``h^x`` for random
+# λ-bit ``x`` — still an n-th power (``h^x = (r0^x)^n``), so ciphertexts
+# stay valid re-randomisations, at a λ-bit exponent each (~16x less pow
+# bit-work at 2048-bit keys).  128 bits of exponent entropy is the standard
+# choice (the blinder is then indistinguishable from uniform in the n-th
+# power subgroup under DCR-style assumptions); ``blinding_lambda=0``
+# restores the classic one-fresh-base-per-blinder behaviour.
+DEFAULT_BLINDING_LAMBDA = 128
 
 
 class PaillierPublicKey:
     """Public half of a Paillier key pair (the modulus ``n``)."""
 
-    __slots__ = ("n", "nsquare", "max_int", "_rng", "key_bits", "_blind_pool")
+    __slots__ = (
+        "n", "nsquare", "max_int", "_rng", "key_bits", "_blind_pool",
+        "blinding_lambda", "_h",
+    )
 
-    def __init__(self, n: int, rng: random.Random | None = None):
+    def __init__(
+        self,
+        n: int,
+        rng: random.Random | None = None,
+        blinding_lambda: int = DEFAULT_BLINDING_LAMBDA,
+    ):
         self.n = n
         self.nsquare = n * n
         # Guard band: plaintexts live in [-n/3, n/3]; the middle third
@@ -61,6 +81,13 @@ class PaillierPublicKey:
         # Precomputed obfuscation blinders r^n mod n^2 (FIFO so a seeded rng
         # yields the same ciphertext stream whether or not the pool is used).
         self._blind_pool: deque[int] = deque()
+        if blinding_lambda < 0:
+            raise ValueError("blinding_lambda must be non-negative (0 = classic)")
+        self.blinding_lambda = blinding_lambda
+        # The λ-shortcut base h = r0^n, computed lazily at first blinder use
+        # so key construction stays cheap and the seeded rng stream is the
+        # same whether blinders come from the pool or on demand.
+        self._h: int | None = None
 
     # -- raw integer layer --------------------------------------------------
 
@@ -86,10 +113,28 @@ class PaillierPublicKey:
             if math.gcd(r, self.n) == 1:
                 return r
 
+    def set_blinding_lambda(self, blinding_lambda: int) -> None:
+        """Switch the blinding mode (λ-shortcut for λ > 0, classic for 0).
+
+        Already-pooled blinders stay valid (both modes produce n-th powers)
+        and drain FIFO before the new mode computes anything; the λ base
+        ``h`` is re-drawn on next use so a mode flip never reuses state.
+        """
+        if blinding_lambda < 0:
+            raise ValueError("blinding_lambda must be non-negative (0 = classic)")
+        self.blinding_lambda = blinding_lambda
+        self._h = None
+
+    def _ensure_h(self) -> int:
+        """The λ-shortcut base ``h = r0^n mod n^2`` (one pow per key)."""
+        if self._h is None:
+            self._h = powmod(self._draw_blinding_base(), self.n, self.nsquare)
+        return self._h
+
     def _random_blinding(self) -> int:
         if self._blind_pool:
             return self._blind_pool.popleft()
-        return pow(self._draw_blinding_base(), self.n, self.nsquare)
+        return self._compute_blinders(1, None)[0]
 
     def blinding_factors(self, count: int, parallel: object | None = None) -> list[int]:
         """``count`` obfuscation factors ``r^n mod n^2``.
@@ -109,11 +154,36 @@ class PaillierPublicKey:
         return out
 
     def _compute_blinders(self, count: int, parallel: object | None) -> list[int]:
+        if self.blinding_lambda:
+            # λ-exponent shortcut: h^x for random λ-bit x (x >= 1 so a
+            # degenerate blinder of 1 can never be drawn).  h^x is an n-th
+            # power, so the ciphertext stays a valid re-randomisation; the
+            # per-blinder exponent drops from key_bits to λ.
+            h = self._ensure_h()
+            top = 1 << self.blinding_lambda
+            exps = [self._rng.randrange(1, top) for _ in range(count)]
+            if parallel is not None and parallel.should_parallelize(count):
+                return parallel.pow_base_many(self, h, exps)
+            return powmod_base_many(h, exps, self.nsquare)
         bases = [self._draw_blinding_base() for _ in range(count)]
         if parallel is not None and parallel.should_parallelize(count):
             return parallel.pow_n_many(self, bases)
         n, nsq = self.n, self.nsquare
         return [powmod(r, n, nsq) for r in bases]
+
+    def blinding_bitwork(self, count: int) -> int:
+        """Exponent bits a refill of ``count`` blinders costs in this mode.
+
+        Modular-exponentiation cost is linear in exponent bit-length at a
+        fixed modulus, so this is the machine-independent unit the decrypt
+        benchmark gates on (wall clock is unusable on a 1-CPU CI box).  The
+        λ mode charges the one-time ``h = r0^n`` pow when it has not been
+        computed yet — the honest amortised accounting.
+        """
+        if self.blinding_lambda:
+            one_time = self.key_bits if self._h is None else 0
+            return count * self.blinding_lambda + one_time
+        return count * self.key_bits
 
     def prefill_blinding(self, count: int, parallel: object | None = None) -> None:
         """Top the obfuscation pool up to ``count`` blinders, off the hot path.
@@ -199,7 +269,17 @@ class PaillierPublicKey:
 
 
 class PaillierPrivateKey:
-    """Secret half of a Paillier key pair; decrypts via CRT."""
+    """Secret half of a Paillier key pair; decrypts via CRT.
+
+    This object is the custody boundary of the whole protocol: whoever
+    holds ``(p, q)`` can decrypt every ciphertext under the key.  It is
+    therefore deliberately unserialisable — pickling raises (so it cannot
+    ride a ``multiprocessing`` task, a cache, or a copy by accident) and
+    the wire codec refuses it outright.  The only sanctioned way private
+    material leaves this process is :attr:`crt_params` feeding a *private*
+    worker-pool initializer (see :mod:`repro.crypto.parallel`), i.e. the
+    key owner's own OS children.
+    """
 
     __slots__ = ("public_key", "p", "q", "psquare", "qsquare", "p_inverse", "hp", "hq")
 
@@ -219,21 +299,39 @@ class PaillierPrivateKey:
 
     def _h(self, x: int, xsquare: int) -> int:
         g = self.public_key.n + 1
-        return invmod(self._l(pow(g, x - 1, xsquare), x), x)
+        return invmod(self._l(powmod(g, x - 1, xsquare), x), x)
 
     @staticmethod
     def _l(u: int, x: int) -> int:
         return (u - 1) // x
 
+    @property
+    def crt_params(self) -> tuple[int, int, int, int, int]:
+        """``(p, q, hp, hq, p_inverse)`` — the private worker initializer.
+
+        Everything a CRT decrypt worker needs, precomputed once at key
+        construction.  Hand this only to a pool initializer of the key
+        owner's own process; it must never touch a protocol channel.
+        """
+        return self.p, self.q, self.hp, self.hq, self.p_inverse
+
     def raw_decrypt(self, ciphertext: int) -> int:
         mp = (
-            self._l(pow(ciphertext, self.p - 1, self.psquare), self.p) * self.hp
+            self._l(powmod(ciphertext, self.p - 1, self.psquare), self.p) * self.hp
         ) % self.p
         mq = (
-            self._l(pow(ciphertext, self.q - 1, self.qsquare), self.q) * self.hq
+            self._l(powmod(ciphertext, self.q - 1, self.qsquare), self.q) * self.hq
         ) % self.q
         u = ((mq - mp) * self.p_inverse) % self.q
         return mp + u * self.p
+
+    def __reduce__(self):
+        raise TypeError(
+            "PaillierPrivateKey is deliberately unpicklable: serialising it "
+            "would let (p, q) leave the key owner's custody. Ship public "
+            "keys instead; parallel decryption passes crt_params to the "
+            "owner's own worker-pool initializer."
+        )
 
     def decrypt(self, encrypted: "EncryptedNumber") -> float:
         if encrypted.public_key != self.public_key:
@@ -248,13 +346,17 @@ class PaillierPrivateKey:
 
 
 def generate_paillier_keypair(
-    key_bits: int = DEFAULT_KEY_BITS, seed: int | None = None
+    key_bits: int = DEFAULT_KEY_BITS,
+    seed: int | None = None,
+    blinding_lambda: int = DEFAULT_BLINDING_LAMBDA,
 ) -> tuple[PaillierPublicKey, PaillierPrivateKey]:
     """Generate a key pair with an ``key_bits``-bit modulus.
 
     A ``seed`` makes key generation *and* subsequent obfuscation
     deterministic, which the test-suite relies on.  Production use would
-    pass ``seed=None`` for OS entropy.
+    pass ``seed=None`` for OS entropy.  ``blinding_lambda`` selects the
+    obfuscation mode (λ-exponent shortcut by default; 0 for the classic
+    fresh ``r^n`` per blinder).
     """
     if key_bits < 64:
         raise ValueError("key_bits below 64 leaves no room for fixed-point tensors")
@@ -265,7 +367,7 @@ def generate_paillier_keypair(
         q = generate_prime(key_bits - half, rng)
         if p != q and (p * q).bit_length() == key_bits:
             break
-    public = PaillierPublicKey(p * q, rng=rng)
+    public = PaillierPublicKey(p * q, rng=rng, blinding_lambda=blinding_lambda)
     private = PaillierPrivateKey(public, p, q)
     return public, private
 

@@ -13,6 +13,31 @@ so :class:`ParallelContext` shards them across a ``multiprocessing`` pool:
 * the pool is lazily created on first use and rebuilt if a different public
   key shows up, so one context can serve a whole training run.
 
+Private worker tier (key custody)
+---------------------------------
+Decryption is just as embarrassingly parallel — two half-size CRT
+exponentiations per ciphertext — but its shared state is the private key's
+CRT constants ``(p, q, hp, hq, p_inverse)``.  Those are catastrophic to
+leak: any party holding ``(p, q)`` can decrypt every ciphertext under the
+key, so the BlindFL trust model confines them to the key-owning party.  The
+*private* pool tier (:meth:`ParallelContext.crt_decrypt_many`) keeps that
+custody boundary intact by construction:
+
+* private workers are direct OS children of the calling process — which, to
+  possess a :class:`~repro.crypto.paillier.PaillierPrivateKey` at all, must
+  *be* the key owner;
+* the CRT constants travel exactly once, through the pool initializer's
+  ``initargs`` (a fork inheritance or a spawn pipe between a process and
+  its own child — never a protocol :class:`~repro.comm.channel.Channel`,
+  never the wire codec, which refuses to serialise private-key material
+  outright);
+* thereafter only ciphertext residue chunks cross the pipe, and only
+  plaintext residues come back.
+
+Private pools live in a separate dict from the public ones, keyed by the
+public modulus, so a context serving both parties of an in-process
+simulation still keeps each key's primes inside the pool that owns them.
+
 A process-wide default context can be installed with
 :func:`set_default_context` (or scoped with the :func:`use_parallel` context
 manager, which the trainer uses); every kernel resolves ``parallel=None`` to
@@ -30,7 +55,7 @@ import multiprocessing
 import os
 from typing import Iterator, Sequence
 
-from repro.crypto.math_utils import invmod
+from repro.crypto.math_utils import invmod, powmod, powmod_base_many
 
 __all__ = [
     "ParallelContext",
@@ -77,14 +102,74 @@ def _raw_mul_chunk(pairs: Sequence[tuple[int, int]]) -> list[int]:
         elif m == 1:
             append(c)
         else:
-            append(pow(c, m, nsq))
+            append(powmod(c, m, nsq))
     return out
 
 
 def _pow_n_chunk(bases: Sequence[int]) -> list[int]:
     """Chunk kernel: obfuscation blinders ``r -> r^n mod n^2``."""
     n, nsq = _W_N, _W_NSQ
-    return [pow(r, n, nsq) for r in bases]
+    return [powmod(r, n, nsq) for r in bases]
+
+
+def _pow_base_chunk(args: tuple[int, Sequence[int]]) -> list[int]:
+    """Chunk kernel: fixed-base pows ``x -> base^x mod n^2``.
+
+    The λ-exponent blinding refill: every exponent shares the precomputed
+    base ``h = r0^n``, so the base crosses the pipe once per chunk (not
+    once per blinder) and the modular-arithmetic conversions hoist out of
+    the loop on the gmpy2 fast path.
+    """
+    base, exps = args
+    return powmod_base_many(base, exps, _W_NSQ)
+
+
+# ---------------------------------------------------------------------------
+# Private worker tier: CRT decryption.
+#
+# These workers hold the key owner's CRT constants.  They are initialised
+# exactly once per pool via initargs (an OS pipe between this process and
+# its own children — never a protocol Channel) and afterwards see only
+# ciphertext residues.
+
+_W_P: int = 0
+_W_Q: int = 0
+_W_PSQ: int = 0
+_W_QSQ: int = 0
+_W_HP: int = 0
+_W_HQ: int = 0
+_W_PINV: int = 0
+
+
+def _init_private_worker(p: int, q: int, hp: int, hq: int, p_inverse: int) -> None:
+    global _W_P, _W_Q, _W_PSQ, _W_QSQ, _W_HP, _W_HQ, _W_PINV
+    _W_P = p
+    _W_Q = q
+    _W_PSQ = p * p
+    _W_QSQ = q * q
+    _W_HP = hp
+    _W_HQ = hq
+    _W_PINV = p_inverse
+
+
+def _crt_decrypt_chunk(cts: Sequence[int]) -> list[int]:
+    """Chunk kernel: raw CRT decryptions ``c -> m`` with ``m in [0, p*q)``.
+
+    Mirrors ``PaillierPrivateKey.raw_decrypt`` exactly (same Paillier-CRT
+    recombination) so serial and parallel decryption produce bit-identical
+    plaintext residues.
+    """
+    p, q = _W_P, _W_Q
+    psq, qsq = _W_PSQ, _W_QSQ
+    hp, hq, p_inv = _W_HP, _W_HQ, _W_PINV
+    pm1, qm1 = p - 1, q - 1
+    out = []
+    append = out.append
+    for c in cts:
+        mp = ((powmod(c, pm1, psq) - 1) // p * hp) % p
+        mq = ((powmod(c, qm1, qsq) - 1) // q * hq) % q
+        append(mp + ((mq - mp) * p_inv % q) * p)
+    return out
 
 
 class ParallelContext:
@@ -121,6 +206,11 @@ class ParallelContext:
         # key switch would cost more than the exponentiations it shards.
         # Federations have a handful of keys, so the dict stays tiny.
         self._pools: dict[int, object] = {}
+        # Private decrypt pools, keyed by public modulus.  Kept apart from
+        # the public pools: their workers were initialised with the key
+        # owner's CRT primes and must never be handed public-key work under
+        # a different key (nor vice versa).
+        self._private_pools: dict[int, object] = {}
 
     # -- pool plumbing -------------------------------------------------------
 
@@ -135,6 +225,28 @@ class ParallelContext:
                 self.workers, initializer=_init_worker, initargs=(n, nsquare)
             )
             self._pools[n] = pool
+        return pool
+
+    def _ensure_private_pool(self, private_key):
+        """A decrypt pool whose workers hold ``private_key``'s CRT constants.
+
+        The constants ship exactly once, via ``initargs`` — a fork
+        inheritance or spawn pipe from this process to its own OS children.
+        A process can only reach this code while holding the private-key
+        *object*, i.e. while being the key-owning party; the wire codec
+        refuses to serialise that object, so the primes cannot have crossed
+        a protocol channel to get here.
+        """
+        n = private_key.public_key.n
+        pool = self._private_pools.get(n)
+        if pool is None:
+            ctx = multiprocessing.get_context(self._start_method)
+            pool = ctx.Pool(
+                self.workers,
+                initializer=_init_private_worker,
+                initargs=private_key.crt_params,
+            )
+            self._private_pools[n] = pool
         return pool
 
     def _chunks(self, items: Sequence, n_chunks: int) -> list[Sequence]:
@@ -159,11 +271,38 @@ class ParallelContext:
         """Parallel obfuscation blinders ``r^n mod n^2``."""
         return self._map(_pow_n_chunk, public_key, bases)
 
+    def pow_base_many(self, public_key, base: int, exps: Sequence[int]) -> list[int]:
+        """Parallel fixed-base ``base^x mod n^2`` (λ-shortcut blinders)."""
+        pool = self._ensure_pool(public_key.n, public_key.nsquare)
+        out: list[int] = []
+        for part in pool.map(
+            _pow_base_chunk,
+            [(base, chunk) for chunk in self._chunks(exps, self.workers * 4)],
+        ):
+            out.extend(part)
+        return out
+
+    def crt_decrypt_many(self, private_key, cts: Sequence[int]) -> list[int]:
+        """Parallel raw CRT decryptions over the *private* worker tier.
+
+        Returns plaintext residues in ``[0, n)``, bit-identical to a serial
+        ``raw_decrypt`` loop.  Only the key-owning process can call this —
+        it requires the live private-key object — and the primes never
+        leave that process except to its own pool children.
+        """
+        pool = self._ensure_private_pool(private_key)
+        chunks = self._chunks(cts, self.workers * 4)
+        out: list[int] = []
+        for part in pool.map(_crt_decrypt_chunk, chunks):
+            out.extend(part)
+        return out
+
     def close(self) -> None:
-        for pool in self._pools.values():
-            pool.terminate()
-            pool.join()
-        self._pools.clear()
+        for pools in (self._pools, self._private_pools):
+            for pool in pools.values():
+                pool.terminate()
+                pool.join()
+            pools.clear()
 
     def __enter__(self) -> "ParallelContext":
         return self

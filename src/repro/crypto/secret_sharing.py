@@ -119,12 +119,25 @@ def he2ss_split(
     return phi
 
 
-def he2ss_receive(key_owner: "Party", channel: "Channel", tag: str) -> np.ndarray:
-    """Algorithm 1, the key owner's branch: receive and decrypt ``v - phi``."""
+def he2ss_receive(
+    key_owner: "Party",
+    channel: "Channel",
+    tag: str,
+    parallel: ParallelContext | None = None,
+) -> np.ndarray:
+    """Algorithm 1, the key owner's branch: receive and decrypt ``v - phi``.
+
+    Decryption is the key owner's dominant per-batch cost; it shards across
+    the private worker tier of a configured
+    :class:`~repro.crypto.parallel.ParallelContext` (explicit or the
+    process default installed by ``TrainConfig.parallel_workers``) —
+    workers are the key owner's own OS children, so ``(p, q)`` never leave
+    its custody.
+    """
     masked = channel.recv(key_owner.name, tag)
     if not isinstance(masked, (CryptoTensor, PackedCryptoTensor)):
         raise TypeError(f"expected a CryptoTensor for tag {tag!r}")
-    return masked.decrypt(key_owner.private_key)
+    return masked.decrypt(key_owner.private_key, parallel=parallel)
 
 
 def ss2he_send(

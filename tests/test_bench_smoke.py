@@ -77,3 +77,44 @@ def test_bench_packing_json_roundtrips(tmp_path):
     assert payload["meta"]["slots"] >= 2
     assert payload["encrypt"]["packed_cts"] < payload["encrypt"]["unpacked_cts"]
     assert payload["bandwidth"]
+
+
+def test_decrypt_gate_holds():
+    """Decrypt-engine counting gates: bit-identity across paths, λ-blinding
+    bit-work ≥ 4x, packed decrypt ≥ slot-fold fewer CRT pows.
+
+    All assertions are counting-only — the 1-CPU CI box cannot show a
+    parallel wall-clock win, so timed rows stay informational.
+    """
+    results = run_bench.check_decrypt()
+    bl = results["blinding"]
+    assert bl["bitwork_reduction"] >= run_bench.MIN_BLINDING_BITWORK_REDUCTION
+    assert bl["blinders_valid"]
+    # The acceptance criterion: λ-shortcut refill beats r^n refills by ≥ 4x
+    # in pow bit-work at the 256-bit bench key (and at the production key).
+    assert bl["key_bits"] == 256
+    pr = results["blinding_production"]
+    assert pr["key_bits"] == 2048 and pr["blinding_lambda"] == 128
+    assert pr["bitwork_reduction"] >= run_bench.MIN_BLINDING_BITWORK_REDUCTION
+    pd = results["packed_decrypt"]
+    assert pd["crt_pow_reduction"] >= run_bench.MIN_PACKED_DECRYPT_REDUCTION
+    assert pd["packed_cts"] < pd["unpacked_cts"]
+    for entry in results["decrypt_flat"]:
+        assert entry["legacy_matches_kernel"]
+        if "parallel_workers" in entry:
+            assert entry["parallel_matches_serial"]
+
+
+def test_bench_decrypt_json_roundtrips(tmp_path):
+    import bench_decrypt
+
+    out = tmp_path / "BENCH_decrypt.json"
+    rc = bench_decrypt.main(
+        ["--quick", "--key-bits", "256", "--workers", "0", "--out", str(out)]
+    )
+    assert rc == 0
+    payload = json.loads(out.read_text())
+    assert payload["meta"]["key_bits"] == 256
+    assert payload["decrypt_flat"]
+    assert payload["blinding"]["bitwork_old"] > payload["blinding"]["bitwork_new"]
+    assert payload["packed_decrypt"]["crt_pow_reduction"] >= 2.0

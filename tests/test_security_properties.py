@@ -261,3 +261,51 @@ def test_embed_lossless_property(vocab):
     e_a = w["Q_A"][x_a.ravel()].reshape(3, -1)
     e_b = w["Q_B"][x_b.ravel()].reshape(3, -1)
     np.testing.assert_allclose(z, e_a @ w["W_A"] + e_b @ w["W_B"], atol=1e-4)
+
+
+# ---------------------------------------------------------------------------
+# Key custody: private-key material must be unable to leave its process.
+
+
+def test_codec_refuses_private_key():
+    """There is deliberately no wire format for (p, q): encoding a private
+    key — the catastrophic leak of the whole trust model — fails loudly."""
+    from repro.comm import codec
+
+    ctx = fresh_ctx(seed=60)
+    with pytest.raises(codec.UnsupportedWireType, match="private-key material"):
+        codec.encode_payload(ctx.B.private_key)
+
+
+def test_codec_refuses_private_key_carriers():
+    """Any object exposing a private key (e.g. a whole Party) is refused
+    with the custody error, not the generic unknown-type one."""
+    from repro.comm import codec
+
+    ctx = fresh_ctx(seed=61)
+    with pytest.raises(codec.UnsupportedWireType, match="key owner's"):
+        codec.encode_payload(ctx.A)
+
+
+def test_channel_send_refuses_private_key():
+    """A private key cannot cross even an in-process serializing channel."""
+    from repro.comm import codec
+
+    cfg = VFLConfig(key_bits=KEY_BITS, channel="serializing")
+    ctx = VFLContext(cfg, seed=62)
+    with pytest.raises(codec.UnsupportedWireType):
+        ctx.channel.send("A", "B", "leak", ctx.A.private_key, MessageKind.PUBLIC)
+
+
+def test_private_key_is_unpicklable():
+    """Pickle (multiprocessing tasks, caches, copies) refuses private keys;
+    the sanctioned escape hatch is crt_params into a pool initializer."""
+    import pickle
+
+    ctx = fresh_ctx(seed=63)
+    with pytest.raises(TypeError, match="custody|unpicklable"):
+        pickle.dumps(ctx.B.private_key)
+    # The public key ships fine — that is the one key material peers need.
+    from repro.comm import codec
+
+    assert codec.decode_payload(codec.encode_payload(ctx.B.public_key)) is not None

@@ -94,3 +94,23 @@ def test_history_dataclass_defaults():
     assert h.losses == [] and h.epoch_metrics == []
     with pytest.raises(IndexError):
         _ = h.final_metric  # no epochs recorded yet
+
+
+def test_blinding_lambda_override_flips_party_keys(small_vertical):
+    """``TrainConfig.blinding_lambda`` reconfigures every party key for the
+    run (0 = classic r^n blinders) without changing what training computes."""
+    train_vd, _ = small_vertical
+    model = make_model()
+    keys = [p.public_key for ctx in model.federation_contexts()
+            for p in ctx.parties.values()]
+    assert all(k.blinding_lambda > 0 for k in keys)  # the build default
+    cfg = TrainConfig(epochs=1, batch_size=16, lr=0.1, blinding_lambda=0)
+    history = train_federated(model, train_vd, cfg, max_batches_per_epoch=2)
+    assert all(k.blinding_lambda == 0 for k in keys)
+    assert len(history.losses) == 2 and np.isfinite(history.losses).all()
+    # And back to the λ-shortcut mid-life: pooled blinders stay valid.
+    cfg = TrainConfig(epochs=1, batch_size=16, lr=0.1, blinding_lambda=64,
+                      blinding_pool_per_epoch=8)
+    history = train_federated(model, train_vd, cfg, max_batches_per_epoch=2)
+    assert all(k.blinding_lambda == 64 for k in keys)
+    assert np.isfinite(history.losses).all()
