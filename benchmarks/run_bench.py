@@ -29,6 +29,7 @@ sys.path.insert(0, str(Path(__file__).resolve().parent))
 import bench_decrypt  # noqa: E402  (path bootstrap above)
 import bench_kernels  # noqa: E402
 import bench_packing  # noqa: E402
+import bench_transport  # noqa: E402
 
 # The kernels' structural edge on these primitives is several-fold; 1.0
 # would already catch a true regression, a small margin keeps noise out.
@@ -55,6 +56,12 @@ MIN_LKUP_BW_REDUCTION = 2.0
 # bench itself while measuring.
 MIN_BLINDING_BITWORK_REDUCTION = 4.0
 MIN_PACKED_DECRYPT_REDUCTION = 2.0
+
+# Transport gate is counting-only: on a clean link the reliability layer
+# must be invisible — zero retransmits/NAKs/duplicates/timeouts, zero
+# extra frames, and exactly ENV_OVERHEAD envelope bytes per codec frame
+# (acks piggyback on DATA).  The faulted row must still deliver every
+# frame, with the recovery traffic showing up in the counters.
 
 
 def check(results: dict | None = None) -> dict:
@@ -187,11 +194,75 @@ def check_decrypt(results: dict | None = None) -> dict:
     return results
 
 
+def check_transport(results: dict | None = None) -> dict:
+    """Assert the retransmission layer costs nothing on a clean link.
+
+    Counting-only (loopback wall clock is syscall noise): at fault rate 0
+    every reliability counter must be zero on both sides, ``extra_frames``
+    must be zero, and envelope bytes must equal exactly one fixed-size
+    envelope per codec frame sent.  The faulted row is gated only on
+    lossless delivery plus non-hidden recovery traffic.
+    """
+    if results is None:
+        results = bench_transport.run(quick=True)
+    failures = []
+    env = results["meta"]["env_overhead"]
+    for row in results["clean"]:
+        label = f"clean {row['rounds']}x{row['frame_bytes']}B"
+        if row["echoed"] != row["rounds"]:
+            failures.append(
+                f"{label}: echoed {row['echoed']} of {row['rounds']} frames"
+            )
+        for side in ("sender", "receiver"):
+            stats = row[side]
+            for counter in (
+                "retransmits", "naks_sent", "naks_received",
+                "duplicates_dropped", "corrupt_dropped", "timeouts",
+                "reconnects", "resumes",
+            ):
+                if stats[counter] != 0:
+                    failures.append(
+                        f"{label} {side}: {counter}={stats[counter]} != 0 "
+                        "at fault rate 0"
+                    )
+            extra = (
+                stats["retransmits"] + stats["naks_sent"] + stats["resumes"]
+            )
+            if extra != 0:
+                failures.append(f"{label} {side}: {extra} extra frames != 0")
+            expected = stats["data_sent"] * env
+            if stats["envelope_bytes"] != expected:
+                failures.append(
+                    f"{label} {side}: envelope_bytes {stats['envelope_bytes']} "
+                    f"!= {expected} ({env}B x {stats['data_sent']} frames)"
+                )
+    faulted = results["faulted"]
+    if faulted["echoed"] != faulted["rounds"]:
+        failures.append(
+            f"faulted: echoed {faulted['echoed']} of {faulted['rounds']} frames"
+        )
+    recovery = (
+        faulted["sender"]["retransmits"] + faulted["receiver"]["naks_sent"]
+    )
+    if faulted["fault_plan"]["events"] and recovery == 0:
+        failures.append(
+            "faulted: fault plan had events but no recovery traffic was "
+            "counted — the stats are hiding retransmissions"
+        )
+    if failures:
+        raise AssertionError(
+            "retransmission layer is not free on a clean link:\n  "
+            + "\n  ".join(failures)
+        )
+    return results
+
+
 def main() -> int:
     try:
         results = check()
         packing_results = check_packing()
         decrypt_results = check_decrypt()
+        transport_results = check_transport()
     except AssertionError as exc:
         print(f"FAIL: {exc}", file=sys.stderr)
         return 1
@@ -201,6 +272,7 @@ def main() -> int:
                 "kernels": results,
                 "packing": packing_results,
                 "decrypt": decrypt_results,
+                "transport": transport_results,
             },
             indent=2,
         )
@@ -214,6 +286,10 @@ def main() -> int:
         "OK: decrypt engine bit-identical across paths; λ-blinding clears "
         f"{MIN_BLINDING_BITWORK_REDUCTION}x bit-work, packed decrypt "
         f"{MIN_PACKED_DECRYPT_REDUCTION}x fewer CRT pows"
+    )
+    print(
+        "OK: reliable link is free at fault rate 0 (zero retransmits, zero "
+        "extra frames) and lossless under the seeded fault plan"
     )
     return 0
 

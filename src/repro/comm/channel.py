@@ -85,9 +85,23 @@ def payload_nbytes(payload: object, cipher_bytes: int | None = None) -> int:
         return payload.nbytes
     if isinstance(payload, (list, tuple)):
         return sum(payload_nbytes(p, cipher_bytes) for p in payload)
+    if isinstance(payload, bool):  # before int: bool is an int subclass
+        return 1
     if isinstance(payload, (int, float)):
         return 8
-    return 0
+    if isinstance(payload, str):
+        return len(payload.encode("utf-8"))
+    if isinstance(payload, (bytes, bytearray)):
+        return len(payload)
+    if payload is None:
+        return 0
+    # Anything else used to be silently priced at 0 bytes — an unpriceable
+    # payload now fails at the accounting site, mirroring the codec's
+    # UnsupportedWireType refusal at the serialisation site.
+    raise TypeError(
+        f"cannot price payload type {type(payload).__name__}: it has no "
+        f"known wire size (and no wire format — see repro.comm.codec)"
+    )
 
 
 class Channel:

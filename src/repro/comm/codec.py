@@ -29,8 +29,15 @@ Frame layout (all integers big-endian)::
     preamble   magic   2  b"BF"
                version 1  WIRE_VERSION
                kind    1  frame kind: 0x4D message, 0x50 payload, 0x48 hello
-               length  4  bytes remaining after this field
+               length  4  body bytes (the CRC trailer is not counted)
     body       ...        frame-kind specific
+    trailer    crc32   4  CRC32 over preamble + body
+
+Wire version 2 added the CRC32 trailer: a frame whose stored checksum
+disagrees with its bytes raises :class:`FrameIntegrityError` (a classified
+:class:`WireFormatError`) at the decode site — a flipped bit on a real link
+is *detected* instead of decoding to garbage, and the transport's
+retransmission sublayer can treat it as a retryable fault.
 
 A *message* body is ``msg-kind(1) | seq(8) | sender | receiver | tag |
 payload-blob`` with strings u16-length-prefixed UTF-8.  A *payload blob* is
@@ -52,6 +59,7 @@ to fresh key objects, so decoding never requires prior key exchange.
 from __future__ import annotations
 
 import struct
+import zlib
 
 import numpy as np
 
@@ -61,26 +69,33 @@ __all__ = [
     "WIRE_MAGIC",
     "WIRE_VERSION",
     "PREAMBLE_SIZE",
+    "CRC_SIZE",
     "FRAME_MESSAGE",
     "FRAME_PAYLOAD",
     "FRAME_HELLO",
     "WireFormatError",
+    "FrameIntegrityError",
     "UnsupportedWireType",
     "encode_payload",
     "decode_payload",
     "split_payload",
     "encode_message",
     "decode_message",
+    "encode_payload_frame",
+    "decode_payload_frame",
     "encode_hello",
     "decode_hello",
     "parse_preamble",
+    "check_frame",
+    "iter_frames",
     "payload_summary",
     "message_summary",
 ]
 
 WIRE_MAGIC = b"BF"
-WIRE_VERSION = 1
+WIRE_VERSION = 2
 PREAMBLE_SIZE = 8
+CRC_SIZE = 4
 
 # Frame kinds (the byte after the version).
 FRAME_MESSAGE = 0x4D  # "M": a routed protocol message
@@ -121,6 +136,13 @@ _TYPE_NAMES = {
 
 class WireFormatError(ValueError):
     """A frame is malformed, truncated, or from an unknown protocol version."""
+
+
+class FrameIntegrityError(WireFormatError):
+    """A frame's CRC32 trailer disagrees with its bytes — corruption in
+    transit.  Classified separately from structural :class:`WireFormatError`
+    so the transport's retransmission sublayer can treat it as retryable
+    (ask the peer to resend) instead of a protocol bug."""
 
 
 class UnsupportedWireType(TypeError):
@@ -543,11 +565,16 @@ def _decode_typed(code: int, header: _Reader, body: bytes, key_ring: dict | None
 
 
 def _frame(kind: int, body: bytes) -> bytes:
-    return WIRE_MAGIC + bytes((WIRE_VERSION, kind)) + _u32(len(body)) + body
+    head = WIRE_MAGIC + bytes((WIRE_VERSION, kind)) + _u32(len(body)) + body
+    return head + _u32(zlib.crc32(head) & 0xFFFFFFFF)
 
 
 def parse_preamble(preamble: bytes) -> tuple[int, int]:
-    """Validate an 8-byte preamble; returns ``(frame_kind, body_length)``."""
+    """Validate an 8-byte preamble; returns ``(frame_kind, body_length)``.
+
+    ``body_length`` excludes the :data:`CRC_SIZE`-byte trailer, so a full
+    frame occupies ``PREAMBLE_SIZE + body_length + CRC_SIZE`` bytes.
+    """
     if len(preamble) != PREAMBLE_SIZE:
         raise WireFormatError(f"preamble must be {PREAMBLE_SIZE} bytes")
     if preamble[:2] != WIRE_MAGIC:
@@ -561,6 +588,58 @@ def parse_preamble(preamble: bytes) -> tuple[int, int]:
     if kind not in (FRAME_MESSAGE, FRAME_PAYLOAD, FRAME_HELLO):
         raise WireFormatError(f"unknown frame kind 0x{kind:02x}")
     return kind, struct.unpack(">I", preamble[4:8])[0]
+
+
+def check_frame(frame: bytes, expect_kind: int | None = None) -> tuple[int, bytes]:
+    """Validate one complete frame; returns ``(frame_kind, body)``.
+
+    Checks the preamble, the length field against the actual byte count,
+    and the CRC32 trailer against the preamble + body.  Integrity failures
+    raise :class:`FrameIntegrityError`; structural ones, the base
+    :class:`WireFormatError`.
+    """
+    kind, length = parse_preamble(frame[:PREAMBLE_SIZE])
+    if len(frame) != PREAMBLE_SIZE + length + CRC_SIZE:
+        raise WireFormatError(
+            f"frame length field says {length} body bytes (+{CRC_SIZE} CRC), "
+            f"have {len(frame) - PREAMBLE_SIZE}"
+        )
+    stored = struct.unpack(">I", frame[-CRC_SIZE:])[0]
+    actual = zlib.crc32(frame[:-CRC_SIZE]) & 0xFFFFFFFF
+    if stored != actual:
+        raise FrameIntegrityError(
+            f"frame failed its CRC32 integrity check (stored 0x{stored:08x}, "
+            f"computed 0x{actual:08x}) — corrupted in transit"
+        )
+    if expect_kind is not None and kind != expect_kind:
+        raise WireFormatError(
+            f"expected frame kind 0x{expect_kind:02x}, got 0x{kind:02x}"
+        )
+    return kind, frame[PREAMBLE_SIZE:-CRC_SIZE]
+
+
+def iter_frames(data: bytes):
+    """Yield ``(frame_kind, body)`` for each frame in a concatenated stream.
+
+    Every frame is CRC-validated; a truncated tail or corrupted frame
+    raises rather than yielding partial data.  This is the reader for
+    checkpoint files, which are plain concatenations of payload frames.
+    """
+    pos = 0
+    while pos < len(data):
+        if pos + PREAMBLE_SIZE > len(data):
+            raise WireFormatError(
+                f"truncated frame stream: {len(data) - pos} bytes of preamble"
+            )
+        _, length = parse_preamble(data[pos : pos + PREAMBLE_SIZE])
+        end = pos + PREAMBLE_SIZE + length + CRC_SIZE
+        if end > len(data):
+            raise WireFormatError(
+                f"truncated frame stream: frame at offset {pos} wants "
+                f"{end - pos} bytes, have {len(data) - pos}"
+            )
+        yield check_frame(data[pos:end])
+        pos = end
 
 
 def encode_message(msg: Message) -> bytes:
@@ -585,12 +664,8 @@ def decode_message(frame: bytes, key_ring: dict | None = None) -> Message:
     kind_code, length = parse_preamble(frame[:PREAMBLE_SIZE])
     if kind_code != FRAME_MESSAGE:
         raise WireFormatError("frame is not a protocol message")
-    if len(frame) != PREAMBLE_SIZE + length:
-        raise WireFormatError(
-            f"frame length field says {length} body bytes, have "
-            f"{len(frame) - PREAMBLE_SIZE}"
-        )
-    reader = _Reader(frame[PREAMBLE_SIZE:])
+    _, body = check_frame(frame)
+    reader = _Reader(body)
     kind = MessageKind.from_wire(reader.u8())
     seq = reader.u64()
     sender = reader.str()
@@ -608,6 +683,26 @@ def decode_message(frame: bytes, key_ring: dict | None = None) -> Message:
     )
 
 
+def encode_payload_frame(payload: object) -> bytes:
+    """Serialise one bare payload as a complete CRC-trailed frame.
+
+    This is the persistence format for checkpoint sections: each section is
+    one ``FRAME_PAYLOAD`` frame, so a checkpoint file inherits the wire
+    codec's integrity checking and its custody refusals (no frame exists
+    for private-key material) for free.
+    """
+    return _frame(FRAME_PAYLOAD, encode_payload(payload))
+
+
+def decode_payload_frame(frame: bytes, key_ring: dict | None = None) -> object:
+    """Inverse of :func:`encode_payload_frame` (CRC-validated)."""
+    kind_code, _ = parse_preamble(frame[:PREAMBLE_SIZE])
+    if kind_code != FRAME_PAYLOAD:
+        raise WireFormatError("frame is not a bare payload")
+    _, body = check_frame(frame)
+    return decode_payload(body, key_ring)
+
+
 def encode_hello(parties: list[str], public_keys: list | None = None) -> bytes:
     """Transport handshake: version check + party-ownership declaration."""
     keys = list(public_keys or [])
@@ -620,7 +715,8 @@ def decode_hello(frame: bytes, key_ring: dict | None = None) -> tuple[list[str],
     kind_code, _ = parse_preamble(frame[:PREAMBLE_SIZE])
     if kind_code != FRAME_HELLO:
         raise WireFormatError("frame is not a handshake hello")
-    proto, parties, keys = decode_payload(frame[PREAMBLE_SIZE:], key_ring)
+    _, body = check_frame(frame)
+    proto, parties, keys = decode_payload(body, key_ring)
     if proto != "blindfl-wire":
         raise WireFormatError(f"handshake names unknown protocol {proto!r}")
     return list(parties), list(keys)

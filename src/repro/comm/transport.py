@@ -32,29 +32,196 @@ remaining bit-identical to a single-process run — which is precisely the
 protocol-conformance property the test-suite pins: byte-real transport with
 zero protocol drift.
 
+Reliable delivery — the link sublayer
+-------------------------------------
+Codec frames do not touch the socket directly: :class:`ReliableLink` wraps
+each one in a small link envelope ``BL | type | seq | ack | length |
+payload | crc32`` and implements receiver-driven ARQ on top:
+
+* every DATA envelope carries the sender's next sequence number and a
+  *piggybacked* cumulative ack of everything delivered in order so far —
+  on a clean link the reliability layer adds **zero extra frames**;
+* sent frames stay in a bounded resend buffer until the peer's acks prune
+  them;
+* the receiver always knows which frame it expects next (lockstep
+  mirroring), so a CRC-corrupted envelope or a sequence gap triggers an
+  immediate NAK, and a read timeout triggers NAK + exponential backoff
+  with seeded jitter (:class:`RetryPolicy`) — the sender replays the
+  requested frames from its buffer, and duplicates (a replayed frame that
+  did arrive, or an injected duplicate) are discarded by sequence number;
+* a dropped connection is *retryable* when a ``reconnect`` callable is
+  configured: the endpoint re-establishes the socket, re-runs the hello
+  handshake, exchanges RESUME envelopes carrying each side's delivery
+  watermark, and replays every buffered frame above the peer's watermark —
+  training continues bit-identically through a mid-epoch disconnect.
+
+Errors are classified: :class:`RetryableTransportError` (timeouts, drops,
+corruption — the link retries these itself and only surfaces them once the
+retry budget is spent) versus :class:`FatalTransportError` (mirror
+divergence, ownership overlap, link desync — retrying cannot help).  Both
+subclass :class:`TransportError`, which existing callers catch.
+
 Deadlock safety: every socket read honours a hard ``timeout``, and the
-:func:`run_two_party` driver enforces an overall deadline, terminating both
-children — a wedged protocol fails fast instead of hanging the suite.
+:func:`run_two_party` driver enforces an overall deadline and *polls child
+liveness* — a crashed endpoint fails the run as soon as its death is
+observed instead of burning the full deadline.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import queue as queue_mod
+import random
 import socket
+import struct
 import time
 import traceback
-from dataclasses import dataclass
+from collections import OrderedDict
+from dataclasses import dataclass, field
 
 from repro.comm import codec
 from repro.comm.channel import CodecChannel
 from repro.comm.message import Message
 
-__all__ = ["NetworkChannel", "TransportError", "run_two_party"]
+__all__ = [
+    "TransportError",
+    "RetryableTransportError",
+    "FatalTransportError",
+    "TransportTimeout",
+    "TransportDisconnected",
+    "LinkCorruptionError",
+    "RetryPolicy",
+    "LinkStats",
+    "ReliableLink",
+    "NetworkChannel",
+    "read_frame",
+    "run_two_party",
+]
 
 
 class TransportError(RuntimeError):
     """Socket-level failure: timeout, truncated frame, or peer desync."""
+
+
+class RetryableTransportError(TransportError):
+    """A transient fault (timeout, drop, corruption, disconnect).
+
+    The link layer handles these internally — retransmission, backoff,
+    reconnect — and only lets one escape once the retry budget is spent.
+    """
+
+
+class FatalTransportError(TransportError):
+    """A non-transient failure: protocol desync, ownership overlap, or
+    link-layer framing loss.  Retrying cannot help; the run must abort."""
+
+
+class TransportTimeout(RetryableTransportError):
+    """No frame arrived within the socket timeout."""
+
+
+class TransportDisconnected(RetryableTransportError):
+    """The connection dropped mid-run (EOF, reset, or injected)."""
+
+
+class LinkCorruptionError(RetryableTransportError):
+    """A link envelope failed its CRC — corrupted in transit."""
+
+
+# ---------------------------------------------------------------------------
+# Link envelope: the ARQ sublayer's unit of transmission.
+#
+#   magic   2  b"BL"
+#   type    1  0x44 DATA | 0x4E NAK | 0x52 RESUME
+#   seq     8  DATA: this frame's sequence number (1-based)
+#              NAK: first sequence number the receiver is missing
+#              RESUME: sender's highest assigned sequence number
+#   ack     8  cumulative ack: highest seq delivered in order by the sender
+#   length  4  payload length (the codec frame; 0 for control envelopes)
+#   payload ...
+#   crc32   4  over everything above
+
+ENV_MAGIC = b"BL"
+ENV_DATA = 0x44
+ENV_NAK = 0x4E
+ENV_RESUME = 0x52
+ENV_FIN = 0x46
+ENV_HEADER_SIZE = 23
+ENV_OVERHEAD = ENV_HEADER_SIZE + 4
+
+
+def encode_envelope(etype: int, seq: int, ack: int, payload: bytes = b"") -> bytes:
+    head = (
+        ENV_MAGIC
+        + bytes((etype,))
+        + struct.pack(">QQI", seq, ack, len(payload))
+        + payload
+    )
+    import zlib
+
+    return head + struct.pack(">I", zlib.crc32(head) & 0xFFFFFFFF)
+
+
+def is_data_envelope(data: bytes) -> bool:
+    """True when ``data`` is a DATA link envelope (the fault-injection
+    target: control envelopes and bare handshake frames are never faulted,
+    so injected faults stay frame-granular and deterministic)."""
+    return len(data) >= 3 and data[:2] == ENV_MAGIC and data[2] == ENV_DATA
+
+
+@dataclass
+class RetryPolicy:
+    """Bounded retransmission: exponential backoff with seeded jitter.
+
+    ``delays()`` yields ``max_retries`` sleep intervals, doubling from
+    ``base_delay`` up to ``max_delay``, each scaled by a deterministic
+    jitter in ``[1, 1 + jitter)`` drawn from ``random.Random(seed)`` — so
+    two mirrored endpoints (different seeds) desynchronise their retries,
+    while a re-run of the same test reproduces the exact timing decisions.
+    """
+
+    max_retries: int = 4
+    base_delay: float = 0.05
+    max_delay: float = 2.0
+    jitter: float = 0.25
+    seed: int = 0
+
+    def delays(self):
+        rng = random.Random(self.seed)
+        for attempt in range(self.max_retries):
+            delay = min(self.max_delay, self.base_delay * (2.0**attempt))
+            yield delay * (1.0 + self.jitter * rng.random())
+
+
+@dataclass
+class LinkStats:
+    """Counters for the reliability layer (the bench gate reads these).
+
+    On a clean link every counter except ``data_sent``/``data_received``
+    and ``envelope_bytes`` must stay zero: acks piggyback on DATA, so the
+    reliability layer is free apart from the fixed per-frame envelope.
+    """
+
+    data_sent: int = 0
+    data_received: int = 0
+    retransmits: int = 0
+    naks_sent: int = 0
+    naks_received: int = 0
+    duplicates_dropped: int = 0
+    corrupt_dropped: int = 0
+    timeouts: int = 0
+    reconnects: int = 0
+    resumes: int = 0
+    fins: int = 0
+    envelope_bytes: int = 0
+    resend_highwater: int = 0
+
+    def extra_frames(self) -> int:
+        """Frames beyond the one-envelope-per-codec-frame minimum."""
+        return self.retransmits + self.naks_sent + self.resumes
+
+    def as_dict(self) -> dict:
+        return dict(self.__dict__)
 
 
 def _recv_exact(sock: socket.socket, n: int) -> bytes:
@@ -63,21 +230,348 @@ def _recv_exact(sock: socket.socket, n: int) -> bytes:
         try:
             chunk = sock.recv(n - len(buf))
         except socket.timeout:
-            raise TransportError(
+            raise TransportTimeout(
                 "timed out waiting for a frame — protocol deadlock or a "
                 "crashed peer"
             ) from None
+        except OSError as exc:
+            raise TransportDisconnected(
+                f"connection lost mid-frame ({exc})"
+            ) from None
         if not chunk:
-            raise TransportError("peer closed the connection mid-frame")
+            raise TransportDisconnected("peer closed the connection mid-frame")
         buf += chunk
     return bytes(buf)
 
 
 def read_frame(sock: socket.socket) -> bytes:
-    """Read one complete wire frame (preamble-validated) from a socket."""
+    """Read one complete *bare* codec frame from a socket, CRC-verified.
+
+    Used for the hello handshake (which runs below the ARQ sublayer) and
+    by tools that speak raw frames.  A corrupted frame raises
+    :class:`~repro.comm.codec.FrameIntegrityError` here — at the read
+    site — rather than decoding garbage downstream.
+    """
     preamble = _recv_exact(sock, codec.PREAMBLE_SIZE)
     _, length = codec.parse_preamble(preamble)
-    return preamble + _recv_exact(sock, length)
+    frame = preamble + _recv_exact(sock, length + codec.CRC_SIZE)
+    codec.check_frame(frame)
+    return frame
+
+
+class ReliableLink:
+    """Acked, retransmitting frame pipe over one (replaceable) socket.
+
+    ``reconnect`` (optional) returns a fresh connected socket after a drop;
+    ``on_reconnect`` (optional) runs protocol re-handshakes on the new
+    socket before the RESUME exchange.  Without a reconnector, a drop is
+    surfaced as :class:`TransportDisconnected` after the retry budget.
+    """
+
+    def __init__(
+        self,
+        sock: socket.socket,
+        *,
+        retry: RetryPolicy | None = None,
+        reconnect=None,
+        on_reconnect=None,
+        resend_capacity: int = 512,
+        graceful_close: bool = False,
+    ):
+        self.sock = sock
+        self.retry = retry or RetryPolicy()
+        self.reconnect = reconnect
+        self.on_reconnect = on_reconnect
+        self.resend_capacity = resend_capacity
+        self.graceful_close = graceful_close
+        self.stats = LinkStats()
+        self.send_seq = 0  # last sequence number assigned to a sent frame
+        self.recv_seq = 0  # highest seq delivered in order to the channel
+        self.peer_ack = 0  # highest cumulative ack received from the peer
+        self._peer_fin: int | None = None  # peer's announced final watermark
+        self._resend: OrderedDict[int, bytes] = OrderedDict()
+
+    # ------------------------------------------------------------------ send
+
+    def send_frame(self, frame: bytes) -> None:
+        """Transmit one codec frame with at-least-once delivery."""
+        self.send_seq += 1
+        self._resend[self.send_seq] = frame
+        self.stats.resend_highwater = max(
+            self.stats.resend_highwater, len(self._resend)
+        )
+        self._prune_resend()
+        env = encode_envelope(ENV_DATA, self.send_seq, self.recv_seq, frame)
+        self.stats.data_sent += 1
+        self._send_env(env, replayable=True)
+
+    def _send_env(self, env: bytes, replayable: bool = False) -> None:
+        try:
+            self.sock.sendall(env)
+            self.stats.envelope_bytes += ENV_OVERHEAD
+        except socket.timeout:
+            raise TransportTimeout(
+                "timed out writing a frame — peer stopped draining the link"
+            ) from None
+        except OSError as exc:
+            # A DATA envelope is already in the resend buffer: the RESUME
+            # replay after reconnect retransmits it, so nothing is lost.
+            # Control envelopes are regenerated by their send sites.
+            self._recover_connection(exc)
+            if not replayable:
+                return
+
+    def _prune_resend(self) -> None:
+        while self._resend and next(iter(self._resend)) <= self.peer_ack:
+            self._resend.popitem(last=False)
+        # The capacity bound is soft: unacked frames are never evicted
+        # (they may still be NAKed), but the high-water mark records any
+        # excursion so tests can pin the bound on clean runs.
+
+    def _note_ack(self, ack: int) -> None:
+        if ack > self.peer_ack:
+            self.peer_ack = ack
+            self._prune_resend()
+
+    # ------------------------------------------------------------------ recv
+
+    def recv_frame(self) -> bytes:
+        """Deliver the next in-order codec frame, retrying through faults."""
+        delays = self.retry.delays()
+        while True:
+            try:
+                etype, seq, ack, payload = self._read_envelope()
+            except LinkCorruptionError:
+                # Corruption is detected immediately — NAK the frame we
+                # are missing rather than waiting for a timeout.
+                self.stats.corrupt_dropped += 1
+                self._send_nak()
+                continue
+            except TransportTimeout:
+                self.stats.timeouts += 1
+                try:
+                    delay = next(delays)
+                except StopIteration:
+                    raise TransportTimeout(
+                        "timed out waiting for a frame — protocol deadlock "
+                        "or a crashed peer (retry budget spent)"
+                    ) from None
+                self._send_nak()
+                time.sleep(delay)
+                continue
+            except TransportDisconnected as exc:
+                self._recover_connection(exc)
+                continue
+            self._note_ack(ack)
+            if etype == ENV_NAK:
+                self.stats.naks_received += 1
+                self._retransmit_from(seq)
+                continue
+            if etype == ENV_RESUME:
+                # Peer reconnected and announced its watermark mid-stream.
+                self._replay_unacked()
+                continue
+            if etype == ENV_FIN:
+                # Peer's program finished and it announced its final send
+                # watermark before closing; NAK any gap so the tail gets
+                # retransmitted while the peer is still draining.
+                self._peer_fin = seq
+                if seq > self.recv_seq:
+                    self._send_nak()
+                continue
+            # DATA
+            if seq == self.recv_seq + 1:
+                self.recv_seq = seq
+                self.stats.data_received += 1
+                return payload
+            if seq <= self.recv_seq:
+                self.stats.duplicates_dropped += 1
+                continue
+            # Sequence gap: the frames in between were dropped in transit.
+            self._send_nak()
+
+    def _read_envelope(self) -> tuple[int, int, int, bytes]:
+        header = _recv_exact(self.sock, ENV_HEADER_SIZE)
+        if header[:2] != ENV_MAGIC:
+            raise FatalTransportError(
+                f"link-layer desync: expected envelope magic {ENV_MAGIC!r}, "
+                f"got {header[:2]!r} — the byte stream lost framing"
+            )
+        etype = header[2]
+        if etype not in (ENV_DATA, ENV_NAK, ENV_RESUME, ENV_FIN):
+            raise FatalTransportError(f"unknown link envelope type 0x{etype:02x}")
+        seq, ack, length = struct.unpack(">QQI", header[3:ENV_HEADER_SIZE])
+        rest = _recv_exact(self.sock, length + 4)
+        payload, stored = rest[:length], struct.unpack(">I", rest[length:])[0]
+        import zlib
+
+        actual = zlib.crc32(header + payload) & 0xFFFFFFFF
+        if stored != actual:
+            raise LinkCorruptionError(
+                f"link envelope seq {seq} failed its CRC32 check "
+                f"(stored 0x{stored:08x}, computed 0x{actual:08x})"
+            )
+        return etype, seq, ack, payload
+
+    def _send_nak(self) -> None:
+        """Ask the peer to retransmit from the first frame we are missing."""
+        self.stats.naks_sent += 1
+        self._send_env(encode_envelope(ENV_NAK, self.recv_seq + 1, self.recv_seq))
+
+    def _retransmit_from(self, seq: int) -> None:
+        if seq > self.send_seq:
+            # The peer is ahead of us (it NAKed a frame we have not produced
+            # yet — e.g. its read timed out while we were still computing).
+            # Nothing to replay; our next send satisfies it.
+            return
+        missing = [s for s in self._resend if s >= seq]
+        if not missing and seq > self.peer_ack:
+            raise FatalTransportError(
+                f"peer requested retransmission from seq {seq} but the "
+                f"resend buffer no longer holds it (acked through "
+                f"{self.peer_ack}) — ack bookkeeping diverged"
+            )
+        for s in sorted(missing):
+            self.stats.retransmits += 1
+            self._send_env(
+                encode_envelope(ENV_DATA, s, self.recv_seq, self._resend[s]),
+                replayable=True,
+            )
+
+    # ------------------------------------------------------------- reconnect
+
+    def _recover_connection(self, cause: BaseException) -> None:
+        """Re-establish the socket, re-handshake, and replay unacked frames.
+
+        The whole recovery sequence — dial/accept, protocol re-hello,
+        RESUME watermark exchange — retries as a unit: a connection that
+        dies *during* recovery (a raced redial, a stale backlog accept, a
+        reset mid-hello) burns one more retry instead of surfacing
+        half-recovered state to the caller.  The abandoned socket is
+        closed first so a peer still reading it gets a prompt EOF and
+        starts (or restarts) its own recovery.
+        """
+        if self.reconnect is None:
+            raise TransportDisconnected(
+                f"connection lost mid-run and no reconnector is configured "
+                f"({cause})"
+            ) from None
+        self.stats.reconnects += 1
+        last_error: BaseException = cause
+        for delay in self.retry.delays():
+            try:
+                try:
+                    self.sock.close()
+                except OSError:
+                    pass
+                self.sock = self.reconnect()
+                if self.on_reconnect is not None:
+                    self.on_reconnect()
+                # RESUME exchange: announce our watermarks, learn the
+                # peer's, then replay everything it has not acknowledged.
+                # The envelope goes out raw — _send_env's own recovery
+                # hook would recurse into this method.
+                env = encode_envelope(ENV_RESUME, self.send_seq, self.recv_seq)
+                self.sock.sendall(env)
+                self.stats.envelope_bytes += ENV_OVERHEAD
+                etype, seq, ack, _ = self._read_envelope()
+                if etype != ENV_RESUME:
+                    raise FatalTransportError(
+                        f"expected a RESUME envelope after reconnect, got "
+                        f"type 0x{etype:02x} seq {seq}"
+                    )
+                self._note_ack(ack)
+            except (OSError, RetryableTransportError) as exc:
+                last_error = exc
+                time.sleep(delay)
+                continue
+            self.stats.resumes += 1
+            self._replay_unacked()
+            return
+        raise TransportDisconnected(
+            f"could not re-establish the connection within "
+            f"{self.retry.max_retries} attempts ({last_error})"
+        ) from None
+
+    def _replay_unacked(self) -> None:
+        for s in sorted(self._resend):
+            if s > self.peer_ack:
+                self.stats.retransmits += 1
+                self._send_env(
+                    encode_envelope(ENV_DATA, s, self.recv_seq, self._resend[s]),
+                    replayable=True,
+                )
+
+    def close(self) -> None:
+        """Close the link; with ``graceful_close``, drain first.
+
+        The graceful path prevents the last-frame-lost race: an endpoint
+        whose final DATA envelopes were dropped in transit must not
+        vanish (taking its listener with it) while the peer is still
+        NAKing for the tail.  FIN announces our final send watermark; we
+        then keep servicing NAKs until the peer has announced (or
+        implicitly confirmed, by EOF) that it is complete too.
+        """
+        if self.graceful_close:
+            try:
+                self._drain_close()
+            except Exception:  # best-effort: close never masks the run
+                pass
+        try:
+            self.sock.close()
+        except OSError:  # pragma: no cover - best-effort close
+            pass
+
+    def _send_fin(self) -> None:
+        # Raw send: _send_env's recovery hook has no place at close time.
+        self.sock.sendall(encode_envelope(ENV_FIN, self.send_seq, self.recv_seq))
+        self.stats.fins += 1
+        self.stats.envelope_bytes += ENV_OVERHEAD
+
+    def _drain_close(self) -> None:
+        """FIN handshake: stay up until the peer is demonstrably done.
+
+        Exit when the peer's FIN has been seen and covers everything we
+        received (mirrored programs both finish, so both sides send FIN),
+        or on EOF/reset (peer already closed — nothing left to protect),
+        or when the retry budget of *consecutive unproductive reads* is
+        spent (peer died silently).  Every serviced envelope resets that
+        budget: a peer slowly NAKing its way to completeness keeps this
+        endpoint alive as long as it keeps making progress.
+        """
+        self._send_fin()
+        delays = self.retry.delays()
+        while self._peer_fin is None or self._peer_fin > self.recv_seq:
+            try:
+                etype, seq, ack, _payload = self._read_envelope()
+            except TransportTimeout:
+                self.stats.timeouts += 1
+                try:
+                    time.sleep(next(delays))
+                except StopIteration:
+                    return  # silent peer: give up, close anyway
+                self._send_fin()  # re-announce (the first may predate peer reads)
+                continue
+            except (TransportDisconnected, OSError):
+                return  # EOF/reset: the peer is already gone
+            except LinkCorruptionError:
+                self.stats.corrupt_dropped += 1
+                self._send_nak()
+                continue
+            delays = self.retry.delays()  # progress resets patience
+            self._note_ack(ack)
+            if etype == ENV_NAK:
+                self.stats.naks_received += 1
+                self._retransmit_from(seq)
+                self._send_fin()  # refreshed watermark + ack for the peer
+            elif etype == ENV_FIN:
+                self._peer_fin = seq
+                if seq > self.recv_seq:
+                    self._send_nak()
+            elif etype == ENV_DATA:
+                # Lockstep means no *new* in-order data can exist once the
+                # program finished; anything here is a retransmit surplus.
+                self.stats.duplicates_dropped += 1
 
 
 @dataclass
@@ -98,8 +592,10 @@ class NetworkChannel(CodecChannel):
     ``local_parties`` declares which parties live in this process; the
     complement lives at the peer.  Transcript capture and byte accounting
     cover *all* messages (the full mirrored protocol), with ``nbytes``
-    measured from encoded frames, so ``total_bytes`` agrees across
-    endpoints and with the in-process serializing tier.
+    measured from encoded codec frames — link-envelope overhead is *not*
+    charged to the protocol (it lives in ``link.stats``), so
+    ``total_bytes`` agrees across endpoints and with the in-process
+    serializing tier.
     """
 
     def __init__(
@@ -107,12 +603,23 @@ class NetworkChannel(CodecChannel):
         sock: socket.socket,
         local_parties: set[str] | frozenset[str] | list[str],
         record_transcript: bool = True,
+        retry: RetryPolicy | None = None,
+        reconnect=None,
+        graceful_close: bool = False,
     ):
         super().__init__(record_transcript)
-        self.sock = sock
         self.local_parties = frozenset(local_parties)
         if not self.local_parties:
             raise ValueError("a network endpoint must own at least one party")
+        self.link = ReliableLink(
+            sock, retry=retry, reconnect=reconnect, on_reconnect=self._rehello,
+            graceful_close=graceful_close,
+        )
+
+    @property
+    def sock(self) -> socket.socket:
+        """The link's current socket (replaced transparently on reconnect)."""
+        return self.link.sock
 
     # ------------------------------------------------------------- handshake
 
@@ -124,15 +631,22 @@ class NetworkChannel(CodecChannel):
         federation contexts; the hello only pins protocol version and
         ownership so a mis-paired launch fails before any protocol byte.
         """
-        self.sock.sendall(codec.encode_hello(sorted(self.local_parties)))
-        frame = read_frame(self.sock)
-        peer_parties, keys = codec.decode_hello(frame, key_ring=self.key_ring)
+        return self._hello_exchange()
+
+    def _hello_exchange(self) -> frozenset[str]:
+        self.link.sock.sendall(codec.encode_hello(sorted(self.local_parties)))
+        frame = read_frame(self.link.sock)
+        peer_parties, _keys = codec.decode_hello(frame, key_ring=self.key_ring)
         overlap = self.local_parties & set(peer_parties)
         if overlap:
-            raise TransportError(
+            raise FatalTransportError(
                 f"both endpoints claim ownership of parties {sorted(overlap)}"
             )
         return frozenset(peer_parties)
+
+    def _rehello(self) -> None:
+        """Re-run the hello on a fresh socket (version + ownership re-pinned)."""
+        self._hello_exchange()
 
     # ------------------------------------------------------------ send/recv
 
@@ -164,7 +678,7 @@ class NetworkChannel(CodecChannel):
             # Remote receiver: this endpoint performs the real
             # transmission; the mirrored decoded copy continues the remote
             # party's simulation from exactly the bytes the peer receives.
-            self.sock.sendall(frame)
+            self.link.send_frame(frame)
         # Remote-to-remote mirrors and purely local hops (e.g. two
         # co-located A parties) deliver the decoded copy like the
         # serializing tier.
@@ -184,7 +698,7 @@ class NetworkChannel(CodecChannel):
             raise LookupError(f"no pending message for party {receiver!r}")
         entry = queue.popleft()
         if isinstance(entry, _Expectation):
-            frame = read_frame(self.sock)
+            frame = self.link.recv_frame()
             msg = codec.decode_message(frame, key_ring=self.key_ring)
             observed = (
                 msg.sender, msg.receiver, msg.tag, msg.kind, msg.seq, msg.nbytes,
@@ -194,7 +708,7 @@ class NetworkChannel(CodecChannel):
                 entry.seq, entry.nbytes,
             )
             if observed != predicted:
-                raise TransportError(
+                raise FatalTransportError(
                     f"wire frame diverged from the mirrored protocol: "
                     f"expected {predicted}, decoded {observed}"
                 )
@@ -219,15 +733,12 @@ class NetworkChannel(CodecChannel):
         }
         try:
             if leftovers:
-                raise TransportError(
+                raise FatalTransportError(
                     f"protocol ended with undelivered messages pending for "
                     f"{leftovers}"
                 )
         finally:
-            try:
-                self.sock.close()
-            except OSError:  # pragma: no cover - best-effort close
-                pass
+            self.link.close()
 
 
 # ---------------------------------------------------------------------------
@@ -243,22 +754,57 @@ def _endpoint_main(
     result_queue,
     timeout: float,
     record_transcript: bool,
+    sock_timeout: float | None = None,
+    retry: RetryPolicy | None = None,
+    fault_plan=None,
 ) -> None:
     """Child-process entry: wire up the socket, run the program, report."""
     sock = None
     listener = None
+    per_read = sock_timeout if sock_timeout is not None else timeout
     try:
         if role == "host":
             listener = socket.create_server(("127.0.0.1", 0))
             listener.settimeout(timeout)
-            port_queue.put(listener.getsockname()[1])
+            port = listener.getsockname()[1]
+            port_queue.put(port)
             sock, _ = listener.accept()
         else:
             port = port_queue.get(timeout=timeout)
             sock = socket.create_connection(("127.0.0.1", port), timeout=timeout)
-        sock.settimeout(timeout)
+        sock.settimeout(per_read)
+        endpoint_sock = sock
+        if fault_plan is not None:
+            from repro.comm.faults import FaultySocket
+
+            endpoint_sock = FaultySocket(sock, fault_plan)
+
+        def _reconnect() -> socket.socket:
+            # The host keeps its listener open for the run's lifetime and
+            # re-accepts; the guest redials the same port.  The fault
+            # wrapper is rebound so the seeded plan keeps counting frames
+            # across the new connection.
+            if role == "host":
+                fresh, _ = listener.accept()
+            else:
+                fresh = socket.create_connection(
+                    ("127.0.0.1", port), timeout=timeout
+                )
+            fresh.settimeout(per_read)
+            if fault_plan is not None:
+                return endpoint_sock.rebind(fresh)
+            return fresh
+
         channel = NetworkChannel(
-            sock, local_parties, record_transcript=record_transcript
+            endpoint_sock,
+            local_parties,
+            record_transcript=record_transcript,
+            retry=retry,
+            reconnect=_reconnect,
+            # Endpoints that exit take their listener/port with them: drain
+            # the link (FIN + NAK service) so a peer chasing dropped tail
+            # frames is never left redialing a dead port.
+            graceful_close=True,
         )
         channel.handshake()
         result = program(channel, *args)
@@ -284,6 +830,9 @@ def run_two_party(
     timeout: float = 120.0,
     record_transcript: bool = True,
     start_method: str | None = None,
+    sock_timeout: float | None = None,
+    retry: RetryPolicy | None = None,
+    fault_plans: dict | None = None,
 ) -> dict[str, object]:
     """Run ``program`` as guest and host in separate OS processes.
 
@@ -292,10 +841,19 @@ def run_two_party(
     both endpoints execute it in lockstep over a loopback TCP connection.
     Returns ``{"guest": result, "host": result}``.
 
+    ``sock_timeout`` bounds each socket read (defaults to ``timeout``):
+    chaos runs set it low so dropped frames are NAKed quickly while the
+    overall deadline stays generous.  ``fault_plans`` maps a role
+    (``"guest"``/``"host"``) to a seeded
+    :class:`~repro.comm.faults.FaultPlan` applied to that endpoint's
+    outbound DATA envelopes.  ``retry`` overrides the link's
+    :class:`RetryPolicy`.
+
     A hard deadline of ``timeout`` seconds covers connection setup, every
-    socket read, and the overall run: a deadlocked or crashed protocol
-    terminates both children and raises :class:`TransportError` instead of
-    hanging the caller.
+    socket read, and the overall run, and child liveness is polled while
+    waiting: an endpoint that dies before reporting (OOM, SIGKILL, crash)
+    fails the run as soon as the death is observed — with its exit code —
+    instead of burning the full deadline.
     """
     if start_method is None:
         start_method = (
@@ -304,6 +862,7 @@ def run_two_party(
     mp = multiprocessing.get_context(start_method)
     port_queue = mp.Queue()
     result_queue = mp.Queue()
+    fault_plans = fault_plans or {}
     children = {
         role: mp.Process(
             target=_endpoint_main,
@@ -316,6 +875,9 @@ def run_two_party(
                 result_queue,
                 timeout,
                 record_transcript,
+                sock_timeout,
+                retry,
+                fault_plans.get(role),
             ),
             daemon=True,
             name=f"blindfl-{role}",
@@ -327,20 +889,49 @@ def run_two_party(
     results: dict[str, object] = {}
     failures: dict[str, str] = {}
     deadline = time.monotonic() + timeout
+    grace_deadline: float | None = None
+    dead: dict[str, int | None] = {}
     try:
-        for _ in range(len(children)):
-            try:
-                remaining = max(0.0, deadline - time.monotonic())
-                role, ok, payload = result_queue.get(timeout=remaining)
-            except queue_mod.Empty:
+        while len(results) + len(failures) < len(children):
+            remaining = deadline - time.monotonic()
+            if remaining <= 0.0:
                 raise TransportError(
                     f"two-party run produced no result within {timeout}s — "
                     f"protocol deadlock; terminating both endpoints"
-                ) from None
-            if ok:
-                results[role] = payload
+                )
+            # Poll in short slices so child deaths are observed promptly.
+            try:
+                role, ok, payload = result_queue.get(
+                    timeout=min(0.25, remaining)
+                )
+            except queue_mod.Empty:
+                pass
             else:
-                failures[role] = payload
+                if ok:
+                    results[role] = payload
+                else:
+                    failures[role] = payload
+                continue
+            # Liveness check: a child that exited without reporting is dead.
+            # A short grace period lets an already-queued result drain (the
+            # queue feeder can lag the exit notification).
+            dead = {
+                role: child.exitcode
+                for role, child in children.items()
+                if child.exitcode is not None
+                and role not in results
+                and role not in failures
+            }
+            if dead:
+                if grace_deadline is None:
+                    grace_deadline = time.monotonic() + 2.0
+                elif time.monotonic() > grace_deadline:
+                    detail = ", ".join(
+                        f"{role} (exit code {code})" for role, code in dead.items()
+                    )
+                    raise TransportError(
+                        f"endpoint died before reporting a result: {detail}"
+                    )
     finally:
         for child in children.values():
             child.join(timeout=5.0)

@@ -569,6 +569,60 @@ class EmbedMatMulSource(SourceLayer):
         self._a.pending = {}
         self._b.pending = {}
 
+    # --------------------------------------------------------------- checkpoint
+
+    def checkpoint_state(self) -> tuple:
+        """Codec-serialisable snapshot of this layer at a batch boundary.
+
+        Table and weight pieces, all four velocity buffers, the cached
+        encrypted peer pieces and the step counter.  Batch-transient
+        lookup state (``flat_idx``, ``psi``, ``e_minus_psi_peer``,
+        ``pending``) is stale between batches and is reset on load; the
+        static ``offsets`` come back with the rebuilt layer.
+        """
+
+        def side(st: _EmbedState) -> tuple:
+            return (
+                st.s, st.t_peer, st.u, st.v_peer,
+                st.vel_s, st.vel_t_peer, st.vel_u, st.vel_v_peer,
+                st.enc_t_own, st.enc_u_peer, st.enc_v_own,
+            )
+
+        return ("embed", self._step, side(self._a), side(self._b))
+
+    def load_checkpoint_state(self, state: tuple) -> None:
+        kind, step, a, b = state
+        if kind != "embed":
+            raise ValueError(
+                f"layer {self.name!r} is an Embed-MatMul source but the "
+                f"checkpoint holds a {kind!r} layer"
+            )
+        self._step = int(step)
+        for st, vals in ((self._a, a), (self._b, b)):
+            (s, t_peer, u, v_peer, vel_s, vel_t_peer, vel_u, vel_v_peer,
+             enc_t_own, enc_u_peer, enc_v_own) = vals
+            s = np.asarray(s, dtype=np.float64)
+            if s.shape != st.s.shape:
+                raise ValueError(
+                    f"layer {self.name!r}: checkpoint piece shape {s.shape} "
+                    f"does not match the model's {st.s.shape}"
+                )
+            st.s = s
+            st.t_peer = np.asarray(t_peer, dtype=np.float64)
+            st.u = np.asarray(u, dtype=np.float64)
+            st.v_peer = np.asarray(v_peer, dtype=np.float64)
+            st.vel_s = np.asarray(vel_s, dtype=np.float64)
+            st.vel_t_peer = np.asarray(vel_t_peer, dtype=np.float64)
+            st.vel_u = np.asarray(vel_u, dtype=np.float64)
+            st.vel_v_peer = np.asarray(vel_v_peer, dtype=np.float64)
+            st.enc_t_own = enc_t_own
+            st.enc_u_peer = enc_u_peer
+            st.enc_v_own = enc_v_own
+            st.flat_idx = None
+            st.psi = None
+            st.e_minus_psi_peer = None
+            st.pending = {}
+
     # -------------------------------------------------------------- introspection
 
     def federated_parameters(self) -> list[FederatedParameter]:

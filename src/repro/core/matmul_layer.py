@@ -349,6 +349,47 @@ class MatMulSource(SourceLayer):
         self._a.pending = {}
         self._b.pending = {}
 
+    # --------------------------------------------------------------- checkpoint
+
+    def checkpoint_state(self) -> tuple:
+        """Codec-serialisable snapshot of this layer at a batch boundary.
+
+        Pieces, velocities and the cached encrypted peer pieces (live
+        ciphertext payloads — the codec carries those natively) plus the
+        step counter the protocol tags derive from.  Batch-transient state
+        (``x_cache``, ``pending``) is provably stale between batches and
+        is *not* captured; :meth:`load_checkpoint_state` resets it.
+        """
+
+        def side(st: _PieceState) -> tuple:
+            return (st.u, st.v_peer, st.vel_u, st.vel_v_peer, st.enc_v_own)
+
+        return ("matmul", self._step, side(self._a), side(self._b))
+
+    def load_checkpoint_state(self, state: tuple) -> None:
+        kind, step, a, b = state
+        if kind != "matmul":
+            raise ValueError(
+                f"layer {self.name!r} is a MatMul source but the checkpoint "
+                f"holds a {kind!r} layer"
+            )
+        self._step = int(step)
+        for st, vals in ((self._a, a), (self._b, b)):
+            u, v_peer, vel_u, vel_v_peer, enc_v_own = vals
+            u = np.asarray(u, dtype=np.float64)
+            if u.shape != st.u.shape:
+                raise ValueError(
+                    f"layer {self.name!r}: checkpoint piece shape {u.shape} "
+                    f"does not match the model's {st.u.shape}"
+                )
+            st.u = u
+            st.v_peer = np.asarray(v_peer, dtype=np.float64)
+            st.vel_u = np.asarray(vel_u, dtype=np.float64)
+            st.vel_v_peer = np.asarray(vel_v_peer, dtype=np.float64)
+            st.enc_v_own = enc_v_own
+            st.x_cache = None
+            st.pending = {}
+
     # -------------------------------------------------------------- introspection
 
     def federated_parameters(self) -> list[FederatedParameter]:

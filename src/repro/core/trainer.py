@@ -62,6 +62,13 @@ class TrainConfig:
     instead of a fresh ``key_bits``-bit ``r^n`` pow each — the blinding
     pool refills ~``key_bits``/λ times faster), 0 restores the classic
     mode.
+    ``checkpoint_path`` + ``checkpoint_every`` persist the full training
+    state (see :mod:`repro.core.checkpoint`) every N batches as codec
+    frames on disk; resuming via ``train_federated(resume_from=...)`` is
+    bit-identical to never having stopped.  ``crash_after_batches`` is the
+    fault-injection knob for testing that property: the trainer raises
+    :class:`~repro.core.checkpoint.TrainingInterrupted` after that many
+    batches have run in this process.
     """
 
     epochs: int = 10
@@ -74,6 +81,9 @@ class TrainConfig:
     packing: bool | None = None
     channel: str | None = None
     blinding_lambda: int | None = None
+    checkpoint_path: str | None = None
+    checkpoint_every: int = 0
+    crash_after_batches: int | None = None
 
 
 @dataclass
@@ -101,8 +111,26 @@ def train_federated(
     config: TrainConfig,
     test_data: VerticalDataset | None = None,
     max_batches_per_epoch: int | None = None,
+    resume_from: str | None = None,
 ) -> History:
-    """Train with FederatedSGD; returns the convergence history."""
+    """Train with FederatedSGD; returns the convergence history.
+
+    ``resume_from`` restores a checkpoint written by an earlier run onto
+    this (freshly rebuilt, identically seeded) model and continues from
+    the exact batch after it — RNG streams, blinding pools, momentum
+    buffers and the mini-batch order all resume bit-identically, so the
+    final trajectory matches an uninterrupted run.  The checkpoint never
+    holds private keys; rebuilding the model from its seeds is what
+    brings the key owner's private key back.
+    """
+    from repro.core.checkpoint import (
+        TrainingInterrupted,
+        load_checkpoint,
+        model_key_ring,
+        restore_checkpoint,
+        save_checkpoint,
+    )
+
     optimizer = FederatedSGD(model, lr=config.lr, momentum=config.momentum)
     criterion = _criterion(train_data.n_classes)
     rng = np.random.default_rng(config.seed)
@@ -114,16 +142,37 @@ def train_federated(
         _set_channel(model, config.channel)
     if config.blinding_lambda is not None:
         _set_blinding_lambda(model, config.blinding_lambda)
+    start_epoch, resume_order, resume_batch = 0, None, 0
+    if resume_from is not None:
+        sections = load_checkpoint(resume_from, key_ring=model_key_ring(model))
+        resume = restore_checkpoint(model, optimizer, rng, sections)
+        start_epoch = resume.epoch
+        resume_order = resume.order
+        resume_batch = resume.next_batch
+        history = resume.history
     if config.parallel_workers >= 2:
         engine = use_parallel(ParallelContext(workers=config.parallel_workers))
     else:
         engine = contextlib.nullcontext(None)
+    batches_run = 0
     with engine as parallel:
-        for _ in range(config.epochs):
-            if config.blinding_pool_per_epoch > 0:
-                _prefill_blinding(model, config.blinding_pool_per_epoch, parallel)
+        for epoch in range(start_epoch, config.epochs):
+            resuming = epoch == start_epoch and resume_order is not None
+            if resuming:
+                # Mid-epoch re-entry: the prefill and the order shuffle
+                # already happened before the checkpoint was written —
+                # their effects live in the restored RNG/pool states.
+                order, first_batch = resume_order, resume_batch
+            else:
+                if config.blinding_pool_per_epoch > 0:
+                    _prefill_blinding(
+                        model, config.blinding_pool_per_epoch, parallel
+                    )
+                order, first_batch = None, 0
             loader = BatchLoader(train_data, config.batch_size, rng=rng)
-            for batch_no, batch in enumerate(loader):
+            if order is None:
+                order = loader.draw_order()
+            for batch_no, batch in loader.batches(order, start=first_batch):
                 if (
                     max_batches_per_epoch is not None
                     and batch_no >= max_batches_per_epoch
@@ -136,6 +185,26 @@ def train_federated(
                 model.backward_sources()
                 optimizer.step()
                 history.losses.append(loss.item())
+                batches_run += 1
+                if (
+                    config.checkpoint_path is not None
+                    and config.checkpoint_every > 0
+                    and batches_run % config.checkpoint_every == 0
+                ):
+                    save_checkpoint(
+                        config.checkpoint_path, model, optimizer,
+                        epoch=epoch, next_batch=batch_no + 1, order=order,
+                        loader_rng=rng, history=history,
+                    )
+                if (
+                    config.crash_after_batches is not None
+                    and batches_run >= config.crash_after_batches
+                ):
+                    raise TrainingInterrupted(
+                        f"injected crash after {batches_run} batches "
+                        f"(epoch {epoch}, batch {batch_no})",
+                        checkpoint_path=config.checkpoint_path,
+                    )
             if test_data is not None:
                 history.epoch_metrics.append(
                     evaluate_federated(model, test_data, config.batch_size)[metric_name]

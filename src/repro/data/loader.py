@@ -59,13 +59,40 @@ class BatchLoader:
             return self.dataset.n // self.batch_size
         return (self.dataset.n + self.batch_size - 1) // self.batch_size
 
-    def __iter__(self) -> Iterator[Batch]:
+    def draw_order(self) -> np.ndarray:
+        """Draw this epoch's instance order (one RNG shuffle per call).
+
+        Split out from iteration so checkpointing can capture the exact
+        order a partially-consumed epoch was following: the draw here is
+        bit-identical to what ``__iter__`` always did (``np.arange`` then
+        one ``rng.shuffle``), so loader RNG trajectories are unchanged.
+        """
         order = np.arange(self.dataset.n)
         if self.shuffle:
             self._rng.shuffle(order)
-        for start in range(0, self.dataset.n, self.batch_size):
-            idx = order[start : start + self.batch_size]
+        return order
+
+    def batches(self, order: np.ndarray, start: int = 0) -> Iterator[tuple[int, Batch]]:
+        """Yield ``(batch_no, batch)`` following a fixed instance order.
+
+        ``start`` skips already-consumed batches without materialising
+        them (resume-from-checkpoint walks straight to the next batch).
+        """
+        order = np.asarray(order)
+        if order.shape[0] != self.dataset.n:
+            raise ValueError(
+                f"order covers {order.shape[0]} instances, dataset has "
+                f"{self.dataset.n}"
+            )
+        for batch_no, lo in enumerate(range(0, self.dataset.n, self.batch_size)):
+            idx = order[lo : lo + self.batch_size]
             if self.drop_last and idx.shape[0] < self.batch_size:
                 break
+            if batch_no < start:
+                continue
             sliced = self.dataset.take_rows(idx)
-            yield Batch(parties=sliced.parties, y=sliced.y, indices=idx)
+            yield batch_no, Batch(parties=sliced.parties, y=sliced.y, indices=idx)
+
+    def __iter__(self) -> Iterator[Batch]:
+        for _, batch in self.batches(self.draw_order()):
+            yield batch

@@ -105,6 +105,38 @@ def test_decrypt_gate_holds():
             assert entry["parallel_matches_serial"]
 
 
+def test_transport_gate_holds():
+    """Retransmission-overhead gate: at fault rate 0 the reliability layer
+    counts nothing — zero retransmits, zero NAKs, zero duplicates, zero
+    extra frames, exactly one fixed envelope per codec frame — and the
+    seeded faulted row still delivers every frame with its recovery
+    traffic visible in the counters."""
+    results = run_bench.check_transport()
+    env = results["meta"]["env_overhead"]
+    for row in results["clean"]:
+        for side in ("sender", "receiver"):
+            stats = row[side]
+            assert stats["retransmits"] == 0
+            assert stats["naks_sent"] == 0
+            assert stats["duplicates_dropped"] == 0
+            assert stats["retransmits"] + stats["naks_sent"] + stats["resumes"] == 0
+            assert stats["envelope_bytes"] == stats["data_sent"] * env
+    faulted = results["faulted"]
+    assert faulted["echoed"] == faulted["rounds"]
+    assert faulted["sender"]["retransmits"] + faulted["receiver"]["naks_sent"] > 0
+
+
+def test_bench_transport_json_roundtrips(tmp_path):
+    import bench_transport
+
+    out = tmp_path / "BENCH_transport.json"
+    rc = bench_transport.main(["--quick", "--out", str(out)])
+    assert rc == 0
+    payload = json.loads(out.read_text())
+    assert payload["meta"]["env_overhead"] == 27
+    assert payload["clean"] and payload["faulted"]["fault_plan"]["events"] > 0
+
+
 def test_bench_decrypt_json_roundtrips(tmp_path):
     import bench_decrypt
 

@@ -1,0 +1,202 @@
+"""Chaos tests: training through injected faults, kills, and resumes.
+
+Tier-1 keeps two cases under hard timeouts:
+
+* a seeded drop+corrupt+duplicate+reconnect schedule over a real
+  two-process run that must land **bit-identical** to the in-memory
+  serializing tier — including ``total_bytes``, because retransmitted
+  envelopes are link overhead, never protocol bytes;
+* a kill-and-resume: both endpoints die mid-epoch (injected
+  ``TrainingInterrupted`` after the checkpoint), restart, resume from
+  their checkpoints and finish with the uninterrupted trajectory.
+
+The full grid (more fault mixes, delays, Embed-MatMul) carries the
+``chaos`` marker: ``pytest -m chaos``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from test_transport import (
+    _BUILDERS,
+    _assert_digests_match,
+    _reference,
+    train_program,
+)
+
+from repro.comm import VFLConfig, VFLContext
+from repro.comm.faults import FaultPlan
+from repro.comm.transport import RetryPolicy, run_two_party
+from repro.core.checkpoint import TrainingInterrupted
+from repro.core.trainer import TrainConfig, train_federated
+
+CHAOS_TIMEOUT = 90.0
+GRID_TIMEOUT = 300.0
+
+
+def _chaos_retry():
+    return RetryPolicy(max_retries=6, base_delay=0.02, max_delay=0.25,
+                       jitter=0.2, seed=5)
+
+
+# ---------------------------------------------------------------------------
+# Programs (module scope: picklable under both fork and spawn).
+
+
+def checkpoint_train_program(channel, base_path, resume, crash_after):
+    """Train LR with per-batch checkpoints; optionally crash or resume.
+
+    Each endpoint checkpoints its *own* parties' state under a
+    role-specific path — in a real federation neither side could hold the
+    other's secret state, and on resume each side restores only its half.
+    """
+    ctx = VFLContext(VFLConfig(key_bits=128, packing=True), seed=3,
+                     channel=channel)
+    model, vd = _BUILDERS["lr"](ctx)
+    role = "guest" if "A" in channel.local_parties else "host"
+    tc = TrainConfig(
+        epochs=2, batch_size=16, lr=0.1, momentum=0.9, seed=0,
+        checkpoint_path=f"{base_path}.{role}", checkpoint_every=1,
+        crash_after_batches=crash_after,
+    )
+    try:
+        history = train_federated(
+            model, vd, tc,
+            resume_from=f"{base_path}.{role}" if resume else None,
+        )
+    except TrainingInterrupted as exc:
+        return {"interrupted": True, "checkpoint": exc.checkpoint_path}
+    weights = {}
+    for layer in model.source_layers():
+        for name, value in layer.reveal_weights().items():
+            weights[f"{layer.name}.{name}"] = value
+    return {"losses": history.losses, "weights": weights}
+
+
+# ---------------------------------------------------------------------------
+# Tier-1 smoke: faults on both endpoints, bit-identical to honest bytes.
+
+
+def test_chaos_smoke_drop_corrupt_reconnect_is_bit_identical():
+    """Seeded drops, corruption, duplicates and one mid-run disconnect on
+    EACH endpoint; the run must match the serializing tier bit-for-bit,
+    total_bytes included (retransmissions are not protocol traffic)."""
+    case = ("lr", True, 128)
+    plans = {
+        "guest": FaultPlan.seeded(
+            41, frames=600, drop_rate=0.06, corrupt_rate=0.06,
+            duplicate_rate=0.04, disconnect_at=23,
+        ),
+        "host": FaultPlan.seeded(
+            42, frames=600, drop_rate=0.06, corrupt_rate=0.06,
+            duplicate_rate=0.04, disconnect_at=57,
+        ),
+    }
+    results = run_two_party(
+        train_program, case, timeout=CHAOS_TIMEOUT, sock_timeout=0.5,
+        retry=_chaos_retry(), fault_plans=plans,
+    )
+    reference = _reference(*case)
+    for role in ("guest", "host"):
+        _assert_digests_match(results[role], reference)
+
+
+def test_kill_mid_epoch_then_resume_finishes_identically(tmp_path):
+    """The headline scenario: both endpoints die mid-epoch under an
+    injected disconnect, restart from their checkpoints, and the final
+    losses/weights equal an uninterrupted run's exactly."""
+    base = str(tmp_path / "federated.ckpt")
+    # Leg 1: train under a disconnect fault, die after batch 4 of 6.
+    plans = {"guest": FaultPlan.seeded(7, frames=400, disconnect_at=31)}
+    first = run_two_party(
+        checkpoint_train_program, (base, False, 4),
+        timeout=CHAOS_TIMEOUT, sock_timeout=0.5, retry=_chaos_retry(),
+        fault_plans=plans,
+    )
+    for role in ("guest", "host"):
+        assert first[role]["interrupted"] is True
+        assert first[role]["checkpoint"] == f"{base}.{role}"
+    # Leg 2: fresh processes, fresh sockets, resume from the checkpoints.
+    second = run_two_party(
+        checkpoint_train_program, (base, True, None), timeout=CHAOS_TIMEOUT
+    )
+    # Reference: the same program uninterrupted (losses/weights only —
+    # the resumed leg's channel counters start at the resume point).
+    reference = _reference("lr", True, 128, "reencrypt", 2, 16)
+    assert len(reference["losses"]) == 6
+    for role in ("guest", "host"):
+        assert second[role]["losses"] == reference["losses"]
+        assert set(second[role]["weights"]) == set(reference["weights"])
+        for name, value in reference["weights"].items():
+            np.testing.assert_array_equal(second[role]["weights"][name], value)
+
+
+# ---------------------------------------------------------------------------
+# The full grid (pytest -m chaos).
+
+
+@pytest.mark.chaos
+@pytest.mark.parametrize(
+    "model_kind,packing,key_bits,guest_seed,host_seed,disconnects",
+    [
+        ("lr", False, 128, 11, 12, (None, None)),
+        ("lr", True, 256, 13, 14, (29, None)),
+        ("wdl", False, 128, 15, 16, (None, 43)),
+        ("wdl", True, 256, 17, 18, (37, 71)),
+    ],
+    ids=lambda v: str(v),
+)
+def test_chaos_grid_trains_bit_identically(
+    model_kind, packing, key_bits, guest_seed, host_seed, disconnects
+):
+    """Heavier fault mixes (including delays) across both model families."""
+    case = (model_kind, packing, key_bits)
+    rates = dict(frames=1200, drop_rate=0.08, corrupt_rate=0.08,
+                 duplicate_rate=0.05, delay_rate=0.03, delay=0.01)
+    plans = {
+        "guest": FaultPlan.seeded(guest_seed, disconnect_at=disconnects[0],
+                                  **rates),
+        "host": FaultPlan.seeded(host_seed, disconnect_at=disconnects[1],
+                                 **rates),
+    }
+    results = run_two_party(
+        train_program, case, timeout=GRID_TIMEOUT, sock_timeout=0.5,
+        retry=_chaos_retry(), fault_plans=plans,
+    )
+    reference = _reference(*case)
+    for role in ("guest", "host"):
+        _assert_digests_match(results[role], reference)
+
+
+@pytest.mark.chaos
+def test_chaos_kill_and_resume_under_faults(tmp_path):
+    """Kill-and-resume with faults active on BOTH legs of the run."""
+    base = str(tmp_path / "chaotic.ckpt")
+    plans = {
+        "guest": FaultPlan.seeded(21, frames=600, drop_rate=0.05,
+                                  corrupt_rate=0.05, disconnect_at=19),
+        "host": FaultPlan.seeded(22, frames=600, drop_rate=0.05,
+                                 corrupt_rate=0.05),
+    }
+    first = run_two_party(
+        checkpoint_train_program, (base, False, 4), timeout=GRID_TIMEOUT,
+        sock_timeout=0.5, retry=_chaos_retry(), fault_plans=plans,
+    )
+    assert all(first[role]["interrupted"] for role in ("guest", "host"))
+    resume_plans = {
+        "guest": FaultPlan.seeded(23, frames=400, drop_rate=0.05,
+                                  corrupt_rate=0.05),
+        "host": FaultPlan.seeded(24, frames=400, drop_rate=0.05,
+                                 corrupt_rate=0.05, disconnect_at=13),
+    }
+    second = run_two_party(
+        checkpoint_train_program, (base, True, None), timeout=GRID_TIMEOUT,
+        sock_timeout=0.5, retry=_chaos_retry(), fault_plans=resume_plans,
+    )
+    reference = _reference("lr", True, 128, "reencrypt", 2, 16)
+    for role in ("guest", "host"):
+        assert second[role]["losses"] == reference["losses"]
+        for name, value in reference["weights"].items():
+            np.testing.assert_array_equal(second[role]["weights"][name], value)

@@ -82,7 +82,11 @@ def test_byte_accounting(ctx):
 def test_payload_nbytes_variants(ctx):
     assert payload_nbytes(3) == 8
     assert payload_nbytes([np.ones(2), 1.0]) == 16 + 8
-    assert payload_nbytes("metadata") == 0
+    # Strings/bytes are priced at their body size; None carries nothing.
+    assert payload_nbytes("metadata") == len(b"metadata")
+    assert payload_nbytes(b"\x00\x01") == 2
+    assert payload_nbytes(True) == 1
+    assert payload_nbytes(None) == 0
     enc = ctx.A.public_key.encrypt(1.0)
     # Derived from the key (128-bit test keys here)...
     assert payload_nbytes(enc) == 2 * ctx.A.public_key.key_bits // 8
@@ -97,6 +101,19 @@ def test_payload_nbytes_production_key_is_512():
     pk = PaillierPublicKey((1 << 2047) + 1)  # any 2048-bit modulus will do
     enc = EncryptedNumber(pk, 1, 0)
     assert payload_nbytes(enc) == 512
+
+
+def test_payload_nbytes_rejects_unpriceable_payloads():
+    """An unknown payload type fails at the accounting site, not with a
+    silent 0-byte undercount (the codec refuses to serialise it anyway)."""
+
+    class Opaque:
+        pass
+
+    with pytest.raises(TypeError, match="cannot price"):
+        payload_nbytes(Opaque())
+    with pytest.raises(TypeError, match="cannot price"):
+        payload_nbytes([1.0, Opaque()])  # nested inside a container too
 
 
 def test_reset_stats_requires_drained_queues():

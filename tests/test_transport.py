@@ -13,7 +13,9 @@ Program functions live at module scope so the runner works under both
 
 from __future__ import annotations
 
+import os
 import socket
+import time
 
 import numpy as np
 import pytest
@@ -279,6 +281,20 @@ def test_runner_surfaces_child_failures():
 
 def _crashing_program(channel):
     raise RuntimeError("boom")
+
+
+def test_runner_fails_fast_when_an_endpoint_dies_silently():
+    """A child killed before it can report (OOM, SIGKILL) must surface as
+    an "endpoint died" error within a liveness-poll grace period, not
+    burn the whole run timeout."""
+    start = time.monotonic()
+    with pytest.raises(TransportError, match="endpoint died.*exit code"):
+        run_two_party(_dying_program, timeout=SMOKE_TIMEOUT)
+    assert time.monotonic() - start < SMOKE_TIMEOUT / 2
+
+
+def _dying_program(channel):
+    os._exit(3)  # no exception, no result: the process just vanishes
 
 
 # ---------------------------------------------------------------------------
