@@ -35,9 +35,17 @@ import numpy as np
 
 from repro.comm import codec
 from repro.comm.faults import FaultPlan, FaultySocket
-from repro.comm.transport import ENV_OVERHEAD, ReliableLink, RetryPolicy
+from repro.comm.message import MessageKind
+from repro.comm.transport import (
+    ENV_OVERHEAD,
+    ReliableLink,
+    RetryPolicy,
+    run_two_party,
+)
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
+
+TWO_PARTY_TIMEOUT = 60.0
 
 
 def _retry() -> RetryPolicy:
@@ -108,6 +116,43 @@ def _exchange(n_rounds: int, payload_elems: int, plan: FaultPlan | None) -> dict
                 pass
 
 
+def pingpong_program(channel, n_rounds, payload_elems):
+    """Mirrored cross-process ping-pong (module scope: picklable by spawn).
+
+    Both endpoints execute the same sends, as every NetworkChannel program
+    does; the channel routes each message locally or over the socket
+    depending on which party lives where.  Link stats deliberately are
+    NOT returned here — the bench reads them from ``run_two_party``'s
+    ``link_stats`` key to exercise that surfacing path.
+    """
+    payload = np.arange(payload_elems, dtype=np.float64)
+    for i in range(n_rounds):
+        channel.send("A", "B", f"ping.{i}", payload, MessageKind.PUBLIC)
+        channel.recv("B", f"ping.{i}")
+        channel.send("B", "A", f"pong.{i}", payload, MessageKind.PUBLIC)
+        channel.recv("A", f"pong.{i}")
+    return {"bytes_by_sender": dict(channel.bytes_by_sender)}
+
+
+def _two_party(n_rounds: int, payload_elems: int) -> dict:
+    """Real two-process run; recovery counters come from the return value."""
+    start = time.perf_counter()
+    results = run_two_party(
+        pingpong_program, (n_rounds, payload_elems),
+        timeout=TWO_PARTY_TIMEOUT, sock_timeout=0.5, retry=_retry(),
+    )
+    elapsed = time.perf_counter() - start
+    stats = results["link_stats"]
+    return {
+        "rounds": n_rounds,
+        "payload_elems": payload_elems,
+        "wall_s": elapsed,
+        "bytes_by_sender": results["guest"]["bytes_by_sender"],
+        "guest": stats["guest"],
+        "host": stats["host"],
+    }
+
+
 def run(quick: bool = False, repeat: int = 1) -> dict:
     """The grid: clean rows (gated) plus one faulted row (informational)."""
     if quick:
@@ -136,6 +181,7 @@ def run(quick: bool = False, repeat: int = 1) -> dict:
         "corrupt_rate": 0.05,
         "duplicate_rate": 0.03,
     }
+    two_party_row = _two_party(16 if quick else 64, 64)
     return {
         "meta": {
             "quick": quick,
@@ -146,6 +192,7 @@ def run(quick: bool = False, repeat: int = 1) -> dict:
         },
         "clean": clean_rows,
         "faulted": faulted_row,
+        "two_party": two_party_row,
     }
 
 
@@ -174,6 +221,12 @@ def main(argv: list[str] | None = None) -> int:
         f"{f['echoed']}/{f['rounds']}, retransmits "
         f"{f['sender']['retransmits']}, naks {f['receiver']['naks_sent']}, "
         f"duplicates dropped {f['receiver']['duplicates_dropped']}"
+    )
+    tp = results["two_party"]
+    print(
+        f"two-party {tp['rounds']} rounds: guest data_sent "
+        f"{tp['guest']['data_sent']}, host data_sent {tp['host']['data_sent']}, "
+        f"fins {tp['guest']['fins']}+{tp['host']['fins']}"
     )
     return 0
 

@@ -29,6 +29,7 @@ sys.path.insert(0, str(Path(__file__).resolve().parent))
 import bench_decrypt  # noqa: E402  (path bootstrap above)
 import bench_kernels  # noqa: E402
 import bench_packing  # noqa: E402
+import bench_trace  # noqa: E402
 import bench_transport  # noqa: E402
 
 # The kernels' structural edge on these primitives is several-fold; 1.0
@@ -249,9 +250,101 @@ def check_transport(results: dict | None = None) -> dict:
             "faulted: fault plan had events but no recovery traffic was "
             "counted — the stats are hiding retransmissions"
         )
+    # Cross-process leg: run_two_party returns the LinkStats of both real
+    # endpoints; a clean loopback run must be as free as the in-process one,
+    # with the graceful FIN exchange visible on each side.
+    tp = results["two_party"]
+    for side in ("guest", "host"):
+        stats = tp[side]
+        for counter in (
+            "retransmits", "naks_sent", "duplicates_dropped",
+            "corrupt_dropped", "timeouts", "reconnects", "resumes",
+        ):
+            if stats[counter] != 0:
+                failures.append(
+                    f"two-party {side}: {counter}={stats[counter]} != 0 "
+                    "on a clean loopback run"
+                )
+        if stats["fins"] < 1:
+            failures.append(f"two-party {side}: no FIN in a graceful shutdown")
+        if stats["data_sent"] < tp["rounds"]:
+            failures.append(
+                f"two-party {side}: data_sent {stats['data_sent']} < "
+                f"{tp['rounds']} rounds"
+            )
     if failures:
         raise AssertionError(
             "retransmission layer is not free on a clean link:\n  "
+            + "\n  ".join(failures)
+        )
+    return results
+
+
+def check_trace(results: dict | None = None) -> dict:
+    """Assert the telemetry subsystem's claims hold (counting-only).
+
+    Every traced training run already passed ``validate_trace`` inside the
+    benchmark; this gate re-asserts the four invariants the observability
+    layer is allowed to promise: exact byte/frame reconciliation against
+    the channel's own ledgers, identical counter totals and span skeletons
+    across identically seeded runs, a strict packed-vs-unpacked ciphertext
+    fold at the same key, and a clean reliable link whose traced
+    ``link.*`` mirror matches ``LinkStats`` with zero reliability events.
+    """
+    if results is None:
+        results = bench_trace.run(quick=True)
+    failures = []
+    for name in ("unpacked", "unpacked_repeat", "packed"):
+        row = results[name]
+        totals = row["totals"]
+        for party, nbytes in row["bytes_by_sender"].items():
+            traced = totals.get(f"bytes.sent.{party}", 0)
+            if traced != nbytes:
+                failures.append(
+                    f"{name}: traced bytes.sent.{party} {traced} != "
+                    f"channel ledger {nbytes}"
+                )
+        if totals.get("frames.sent", 0) != row["n_messages"]:
+            failures.append(
+                f"{name}: traced frames.sent {totals.get('frames.sent', 0)} "
+                f"!= {row['n_messages']} transcript messages"
+            )
+        if totals.get("bytes.sent", 0) != row["frame_bytes"]:
+            failures.append(
+                f"{name}: traced bytes.sent {totals.get('bytes.sent', 0)} != "
+                f"{row['frame_bytes']} measured encoded-frame bytes"
+            )
+    if results["unpacked"]["totals"] != results["unpacked_repeat"]["totals"]:
+        failures.append("identically seeded runs produced different counter totals")
+    if results["unpacked"]["skeleton"] != results["unpacked_repeat"]["skeleton"]:
+        failures.append("identically seeded runs produced different span skeletons")
+    unpacked_ct = results["unpacked"]["totals"]["ct.encrypted"]
+    packed_ct = results["packed"]["totals"]["ct.encrypted"]
+    if not packed_ct < unpacked_ct:
+        failures.append(
+            f"packing fold missing from the trace: packed ct.encrypted "
+            f"{packed_ct} !< unpacked {unpacked_ct}"
+        )
+    if "ct.packed" not in results["packed"]["totals"]:
+        failures.append("packed run traced no ct.packed counter")
+    link = results["clean_link"]
+    totals = link["totals"]
+    for counter in bench_trace.LINK_RELIABILITY_EVENTS:
+        if totals.get(f"link.{counter}", 0) != 0:
+            failures.append(
+                f"clean link: traced link.{counter}="
+                f"{totals[f'link.{counter}']} != 0 at fault rate 0"
+            )
+    expected = link["sender"]["data_sent"] + link["receiver"]["data_sent"]
+    if totals.get("link.data_sent", 0) != expected or expected != 2 * link["rounds"]:
+        failures.append(
+            f"clean link: traced link.data_sent "
+            f"{totals.get('link.data_sent', 0)} != stats {expected} "
+            f"(= 2 x {link['rounds']} rounds)"
+        )
+    if failures:
+        raise AssertionError(
+            "telemetry does not reconcile with the ground truth it mirrors:\n  "
             + "\n  ".join(failures)
         )
     return results
@@ -263,6 +356,7 @@ def main() -> int:
         packing_results = check_packing()
         decrypt_results = check_decrypt()
         transport_results = check_transport()
+        trace_results = check_trace()
     except AssertionError as exc:
         print(f"FAIL: {exc}", file=sys.stderr)
         return 1
@@ -273,6 +367,7 @@ def main() -> int:
                 "packing": packing_results,
                 "decrypt": decrypt_results,
                 "transport": transport_results,
+                "trace": trace_results,
             },
             indent=2,
         )
@@ -290,6 +385,10 @@ def main() -> int:
     print(
         "OK: reliable link is free at fault rate 0 (zero retransmits, zero "
         "extra frames) and lossless under the seeded fault plan"
+    )
+    print(
+        "OK: telemetry reconciles exactly (bytes/frames/link counters), is "
+        "seeded-run deterministic, and shows the packing fold"
     )
     return 0
 

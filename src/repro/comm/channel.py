@@ -35,6 +35,7 @@ import numpy as np
 
 from repro.comm import codec
 from repro.comm.message import Message, MessageKind
+from repro.obs import tracer as _obs
 
 __all__ = [
     "Channel",
@@ -144,6 +145,13 @@ class Channel:
         msg = self._transcode(msg)
         self.bytes_by_sender[sender] += msg.nbytes
         self.messages_by_kind[kind] += 1
+        # The traced byte counters mirror bytes_by_sender exactly (same
+        # nbytes, same send site), attributed to the span in flight.
+        trc = _obs.get_tracer()
+        if trc is not None:
+            trc.add("frames.sent", 1)
+            trc.add("bytes.sent", msg.nbytes)
+            trc.add("bytes.sent." + sender, msg.nbytes)
         if self.record_transcript:
             self.transcript.append(msg)
         self._deliver(msg)

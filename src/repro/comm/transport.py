@@ -82,6 +82,7 @@ from dataclasses import dataclass, field
 from repro.comm import codec
 from repro.comm.channel import CodecChannel
 from repro.comm.message import Message
+from repro.obs import tracer as _obs
 
 __all__ = [
     "TransportError",
@@ -291,6 +292,18 @@ class ReliableLink:
         self._peer_fin: int | None = None  # peer's announced final watermark
         self._resend: OrderedDict[int, bytes] = OrderedDict()
 
+    def _count(self, stat: str, n: int = 1) -> None:
+        """Bump a LinkStats counter and its traced ``link.<name>`` mirror.
+
+        Routing every counter (except the ``resend_highwater`` gauge)
+        through this one helper makes the trace reconcile with
+        ``stats.as_dict()`` by construction.
+        """
+        setattr(self.stats, stat, getattr(self.stats, stat) + n)
+        trc = _obs.get_tracer()
+        if trc is not None:
+            trc.add("link." + stat, n)
+
     # ------------------------------------------------------------------ send
 
     def send_frame(self, frame: bytes) -> None:
@@ -302,13 +315,13 @@ class ReliableLink:
         )
         self._prune_resend()
         env = encode_envelope(ENV_DATA, self.send_seq, self.recv_seq, frame)
-        self.stats.data_sent += 1
+        self._count("data_sent")
         self._send_env(env, replayable=True)
 
     def _send_env(self, env: bytes, replayable: bool = False) -> None:
         try:
             self.sock.sendall(env)
-            self.stats.envelope_bytes += ENV_OVERHEAD
+            self._count("envelope_bytes", ENV_OVERHEAD)
         except socket.timeout:
             raise TransportTimeout(
                 "timed out writing a frame — peer stopped draining the link"
@@ -344,11 +357,11 @@ class ReliableLink:
             except LinkCorruptionError:
                 # Corruption is detected immediately — NAK the frame we
                 # are missing rather than waiting for a timeout.
-                self.stats.corrupt_dropped += 1
+                self._count("corrupt_dropped")
                 self._send_nak()
                 continue
             except TransportTimeout:
-                self.stats.timeouts += 1
+                self._count("timeouts")
                 try:
                     delay = next(delays)
                 except StopIteration:
@@ -364,7 +377,7 @@ class ReliableLink:
                 continue
             self._note_ack(ack)
             if etype == ENV_NAK:
-                self.stats.naks_received += 1
+                self._count("naks_received")
                 self._retransmit_from(seq)
                 continue
             if etype == ENV_RESUME:
@@ -382,10 +395,10 @@ class ReliableLink:
             # DATA
             if seq == self.recv_seq + 1:
                 self.recv_seq = seq
-                self.stats.data_received += 1
+                self._count("data_received")
                 return payload
             if seq <= self.recv_seq:
-                self.stats.duplicates_dropped += 1
+                self._count("duplicates_dropped")
                 continue
             # Sequence gap: the frames in between were dropped in transit.
             self._send_nak()
@@ -415,7 +428,7 @@ class ReliableLink:
 
     def _send_nak(self) -> None:
         """Ask the peer to retransmit from the first frame we are missing."""
-        self.stats.naks_sent += 1
+        self._count("naks_sent")
         self._send_env(encode_envelope(ENV_NAK, self.recv_seq + 1, self.recv_seq))
 
     def _retransmit_from(self, seq: int) -> None:
@@ -432,7 +445,7 @@ class ReliableLink:
                 f"{self.peer_ack}) — ack bookkeeping diverged"
             )
         for s in sorted(missing):
-            self.stats.retransmits += 1
+            self._count("retransmits")
             self._send_env(
                 encode_envelope(ENV_DATA, s, self.recv_seq, self._resend[s]),
                 replayable=True,
@@ -456,47 +469,48 @@ class ReliableLink:
                 f"connection lost mid-run and no reconnector is configured "
                 f"({cause})"
             ) from None
-        self.stats.reconnects += 1
-        last_error: BaseException = cause
-        for delay in self.retry.delays():
-            try:
+        with _obs.span("link_recovery", cause=type(cause).__name__):
+            self._count("reconnects")
+            last_error: BaseException = cause
+            for delay in self.retry.delays():
                 try:
-                    self.sock.close()
-                except OSError:
-                    pass
-                self.sock = self.reconnect()
-                if self.on_reconnect is not None:
-                    self.on_reconnect()
-                # RESUME exchange: announce our watermarks, learn the
-                # peer's, then replay everything it has not acknowledged.
-                # The envelope goes out raw — _send_env's own recovery
-                # hook would recurse into this method.
-                env = encode_envelope(ENV_RESUME, self.send_seq, self.recv_seq)
-                self.sock.sendall(env)
-                self.stats.envelope_bytes += ENV_OVERHEAD
-                etype, seq, ack, _ = self._read_envelope()
-                if etype != ENV_RESUME:
-                    raise FatalTransportError(
-                        f"expected a RESUME envelope after reconnect, got "
-                        f"type 0x{etype:02x} seq {seq}"
-                    )
-                self._note_ack(ack)
-            except (OSError, RetryableTransportError) as exc:
-                last_error = exc
-                time.sleep(delay)
-                continue
-            self.stats.resumes += 1
-            self._replay_unacked()
-            return
-        raise TransportDisconnected(
-            f"could not re-establish the connection within "
-            f"{self.retry.max_retries} attempts ({last_error})"
-        ) from None
+                    try:
+                        self.sock.close()
+                    except OSError:
+                        pass
+                    self.sock = self.reconnect()
+                    if self.on_reconnect is not None:
+                        self.on_reconnect()
+                    # RESUME exchange: announce our watermarks, learn the
+                    # peer's, then replay everything it has not acknowledged.
+                    # The envelope goes out raw — _send_env's own recovery
+                    # hook would recurse into this method.
+                    env = encode_envelope(ENV_RESUME, self.send_seq, self.recv_seq)
+                    self.sock.sendall(env)
+                    self._count("envelope_bytes", ENV_OVERHEAD)
+                    etype, seq, ack, _ = self._read_envelope()
+                    if etype != ENV_RESUME:
+                        raise FatalTransportError(
+                            f"expected a RESUME envelope after reconnect, got "
+                            f"type 0x{etype:02x} seq {seq}"
+                        )
+                    self._note_ack(ack)
+                except (OSError, RetryableTransportError) as exc:
+                    last_error = exc
+                    time.sleep(delay)
+                    continue
+                self._count("resumes")
+                self._replay_unacked()
+                return
+            raise TransportDisconnected(
+                f"could not re-establish the connection within "
+                f"{self.retry.max_retries} attempts ({last_error})"
+            ) from None
 
     def _replay_unacked(self) -> None:
         for s in sorted(self._resend):
             if s > self.peer_ack:
-                self.stats.retransmits += 1
+                self._count("retransmits")
                 self._send_env(
                     encode_envelope(ENV_DATA, s, self.recv_seq, self._resend[s]),
                     replayable=True,
@@ -525,8 +539,8 @@ class ReliableLink:
     def _send_fin(self) -> None:
         # Raw send: _send_env's recovery hook has no place at close time.
         self.sock.sendall(encode_envelope(ENV_FIN, self.send_seq, self.recv_seq))
-        self.stats.fins += 1
-        self.stats.envelope_bytes += ENV_OVERHEAD
+        self._count("fins")
+        self._count("envelope_bytes", ENV_OVERHEAD)
 
     def _drain_close(self) -> None:
         """FIN handshake: stay up until the peer is demonstrably done.
@@ -545,7 +559,7 @@ class ReliableLink:
             try:
                 etype, seq, ack, _payload = self._read_envelope()
             except TransportTimeout:
-                self.stats.timeouts += 1
+                self._count("timeouts")
                 try:
                     time.sleep(next(delays))
                 except StopIteration:
@@ -555,13 +569,13 @@ class ReliableLink:
             except (TransportDisconnected, OSError):
                 return  # EOF/reset: the peer is already gone
             except LinkCorruptionError:
-                self.stats.corrupt_dropped += 1
+                self._count("corrupt_dropped")
                 self._send_nak()
                 continue
             delays = self.retry.delays()  # progress resets patience
             self._note_ack(ack)
             if etype == ENV_NAK:
-                self.stats.naks_received += 1
+                self._count("naks_received")
                 self._retransmit_from(seq)
                 self._send_fin()  # refreshed watermark + ack for the peer
             elif etype == ENV_FIN:
@@ -571,7 +585,7 @@ class ReliableLink:
             elif etype == ENV_DATA:
                 # Lockstep means no *new* in-order data can exist once the
                 # program finished; anything here is a retransmit surplus.
-                self.stats.duplicates_dropped += 1
+                self._count("duplicates_dropped")
 
 
 @dataclass
@@ -809,9 +823,11 @@ def _endpoint_main(
         channel.handshake()
         result = program(channel, *args)
         channel.shutdown()
-        result_queue.put((role, True, result))
+        # Snapshot *after* shutdown so the graceful-close FIN traffic is
+        # included: this is the endpoint's final reliability ledger.
+        result_queue.put((role, True, result, channel.link.stats.as_dict()))
     except BaseException:
-        result_queue.put((role, False, traceback.format_exc()))
+        result_queue.put((role, False, traceback.format_exc(), None))
     finally:
         for s in (sock, listener):
             if s is not None:
@@ -839,7 +855,10 @@ def run_two_party(
     ``program(channel, *args)`` must be deterministic given its arguments
     (build the federation from seeds, train, return a picklable digest);
     both endpoints execute it in lockstep over a loopback TCP connection.
-    Returns ``{"guest": result, "host": result}``.
+    Returns ``{"guest": result, "host": result, "link_stats": {...}}``
+    where ``link_stats`` maps each role to its endpoint's final
+    :class:`LinkStats` dict (snapshotted after the graceful close), so
+    chaos tests and benches read recovery counters from the return value.
 
     ``sock_timeout`` bounds each socket read (defaults to ``timeout``):
     chaos runs set it low so dropped frames are NAKed quickly while the
@@ -887,6 +906,7 @@ def run_two_party(
     for child in children.values():
         child.start()
     results: dict[str, object] = {}
+    link_stats: dict[str, dict] = {}
     failures: dict[str, str] = {}
     deadline = time.monotonic() + timeout
     grace_deadline: float | None = None
@@ -901,7 +921,7 @@ def run_two_party(
                 )
             # Poll in short slices so child deaths are observed promptly.
             try:
-                role, ok, payload = result_queue.get(
+                role, ok, payload, stats = result_queue.get(
                     timeout=min(0.25, remaining)
                 )
             except queue_mod.Empty:
@@ -909,6 +929,7 @@ def run_two_party(
             else:
                 if ok:
                     results[role] = payload
+                    link_stats[role] = stats
                 else:
                     failures[role] = payload
                 continue
@@ -943,4 +964,5 @@ def run_two_party(
             f"--- {role} endpoint failed ---\n{tb}" for role, tb in failures.items()
         )
         raise TransportError(f"two-party run failed:\n{detail}")
+    results["link_stats"] = link_stats
     return results

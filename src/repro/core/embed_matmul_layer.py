@@ -37,6 +37,7 @@ from repro.crypto.packing import PackedCryptoTensor
 from repro.crypto.parallel import ParallelContext
 from repro.crypto.secret_sharing import he2ss_receive
 from repro.core.federated import FederatedParameter, SourceLayer
+from repro.obs import tracer as _obs
 
 __all__ = ["EmbedMatMulSource"]
 
@@ -236,74 +237,75 @@ class EmbedMatMulSource(SourceLayer):
         """Lines 5-10 only: output stays secret-shared (Appendix B tops)."""
         self._step += 1
         tag = f"{self.name}.{self._step}"
-        cfg, ch = self._cfg, self.ctx.channel
-        batch = np.asarray(x_cat_a).shape[0]
-        if np.asarray(x_cat_b).shape[0] != batch:
-            raise ValueError("parties received differently sized batches")
-        # The backward scatter-add accumulates up to ``batch`` gradient
-        # rows per lane, each itself a contraction over ``out_dim``
-        # products plus the gZ V^T term — the compound fan-in must fit the
-        # layouts' designed accumulation depth or lanes would overflow the
-        # slot guard band.  Fail loudly now, before any ciphertext is
-        # produced.  Inference passes never run that backward, so they are
-        # exempt.
-        if train:
-            self._check_packing_depth(batch, row_terms=self.out_dim + 1)
-        contributions = {"A": [], "B": []}
-
-        # ---- Embed stage (lines 5-7), once per party.
-        shares = {}
-        for who, x_cat in (("A", x_cat_a), ("B", x_cat_b)):
-            state, me, peer = self._party_pair(who)
-            flat = self._flat_indices(state, x_cat)
-            lk_enc = state.enc_t_own.take_rows(flat).reshape(batch, -1)
-            eps = self._he2ss(
-                lk_enc, me, peer.name, f"{tag}.fwd.lkT_{who}", cfg.mask_scale
-            )
-            lk_t_share = he2ss_receive(peer, ch, f"{tag}.fwd.lkT_{who}")
-            psi = eps + state.s[flat].reshape(batch, -1)
-            shares[who] = (psi, lk_t_share)  # psi at `who`, E-psi at peer
+        with _obs.span("fw_transfer", tag=tag):
+            cfg, ch = self._cfg, self.ctx.channel
+            batch = np.asarray(x_cat_a).shape[0]
+            if np.asarray(x_cat_b).shape[0] != batch:
+                raise ValueError("parties received differently sized batches")
+            # The backward scatter-add accumulates up to ``batch`` gradient
+            # rows per lane, each itself a contraction over ``out_dim``
+            # products plus the gZ V^T term — the compound fan-in must fit
+            # the layouts' designed accumulation depth or lanes would
+            # overflow the slot guard band.  Fail loudly now, before any
+            # ciphertext is produced.  Inference passes never run that
+            # backward, so they are exempt.
             if train:
-                state.flat_idx = flat
-                state.psi = psi
-            else:
-                state.flat_idx = None
-                state.psi = None
-        self._a.e_minus_psi_peer = shares["B"][1] if train else None
-        self._b.e_minus_psi_peer = shares["A"][1] if train else None
+                self._check_packing_depth(batch, row_terms=self.out_dim + 1)
+            contributions = {"A": [], "B": []}
 
-        # ---- MatMul stage, line 8: Z'_1 contributions from psi pieces.
-        for who in ("A", "B"):
-            state, me, peer = self._party_pair(who)
-            psi = shares[who][0]
-            ct = matmul_plain_cipher(psi, state.enc_v_own, parallel=self.parallel)
-            eps1 = self._he2ss(
-                ct, me, peer.name, f"{tag}.fwd.psiV_{who}", cfg.mask_scale
-            )
-            peer_share = he2ss_receive(peer, ch, f"{tag}.fwd.psiV_{who}")
-            contributions[who].append(psi @ state.u + eps1)
-            contributions[peer.name].append(peer_share)
+            # ---- Embed stage (lines 5-7), once per party.
+            shares = {}
+            for who, x_cat in (("A", x_cat_a), ("B", x_cat_b)):
+                state, me, peer = self._party_pair(who)
+                flat = self._flat_indices(state, x_cat)
+                lk_enc = state.enc_t_own.take_rows(flat).reshape(batch, -1)
+                eps = self._he2ss(
+                    lk_enc, me, peer.name, f"{tag}.fwd.lkT_{who}", cfg.mask_scale
+                )
+                lk_t_share = he2ss_receive(peer, ch, f"{tag}.fwd.lkT_{who}")
+                psi = eps + state.s[flat].reshape(batch, -1)
+                shares[who] = (psi, lk_t_share)  # psi at `who`, E-psi at peer
+                if train:
+                    state.flat_idx = flat
+                    state.psi = psi
+                else:
+                    state.flat_idx = None
+                    state.psi = None
+            self._a.e_minus_psi_peer = shares["B"][1] if train else None
+            self._b.e_minus_psi_peer = shares["A"][1] if train else None
 
-        # ---- MatMul stage, line 9: Z'_2 contributions from (E - psi) pieces.
-        for who in ("A", "B"):
-            # The peer holds (E_who - psi_who), V_who, and [[U_who]]_who.
-            state, me, peer = self._party_pair(who)
-            peer_state = self._b if who == "A" else self._a
-            e_share = shares[who][1]  # at peer
-            # [[ (E-psi) U_who ]]_who
-            ct = matmul_plain_cipher(
-                e_share, peer_state.enc_u_peer, parallel=self.parallel
-            )
-            eps2 = self._he2ss(
-                ct, peer, me.name, f"{tag}.fwd.eU_{who}", cfg.mask_scale
-            )
-            my_share = he2ss_receive(me, ch, f"{tag}.fwd.eU_{who}")
-            contributions[peer.name].append(e_share @ peer_state.v_peer + eps2)
-            contributions[who].append(my_share)
+            # ---- MatMul stage, line 8: Z'_1 contributions from psi pieces.
+            for who in ("A", "B"):
+                state, me, peer = self._party_pair(who)
+                psi = shares[who][0]
+                ct = matmul_plain_cipher(psi, state.enc_v_own, parallel=self.parallel)
+                eps1 = self._he2ss(
+                    ct, me, peer.name, f"{tag}.fwd.psiV_{who}", cfg.mask_scale
+                )
+                peer_share = he2ss_receive(peer, ch, f"{tag}.fwd.psiV_{who}")
+                contributions[who].append(psi @ state.u + eps1)
+                contributions[peer.name].append(peer_share)
 
-        z_a = sum(contributions["A"])
-        z_b = sum(contributions["B"])
-        return z_a, z_b
+            # ---- MatMul stage, line 9: Z'_2 contributions from (E-psi) pieces.
+            for who in ("A", "B"):
+                # The peer holds (E_who - psi_who), V_who, and [[U_who]]_who.
+                state, me, peer = self._party_pair(who)
+                peer_state = self._b if who == "A" else self._a
+                e_share = shares[who][1]  # at peer
+                # [[ (E-psi) U_who ]]_who
+                ct = matmul_plain_cipher(
+                    e_share, peer_state.enc_u_peer, parallel=self.parallel
+                )
+                eps2 = self._he2ss(
+                    ct, peer, me.name, f"{tag}.fwd.eU_{who}", cfg.mask_scale
+                )
+                my_share = he2ss_receive(me, ch, f"{tag}.fwd.eU_{who}")
+                contributions[peer.name].append(e_share @ peer_state.v_peer + eps2)
+                contributions[who].append(my_share)
+
+            z_a = sum(contributions["A"])
+            z_b = sum(contributions["B"])
+            return z_a, z_b
 
     # ----------------------------------------------------------------- backward
 
@@ -314,120 +316,128 @@ class EmbedMatMulSource(SourceLayer):
         if self._a.pending or self._b.pending:
             raise RuntimeError("pending updates not applied; call apply_updates")
         tag = f"{self.name}.{self._step}"
-        cfg, ch = self._cfg, self.ctx.channel
-        a, b = self.ctx.A, self.ctx.B
-        grad_z = np.asarray(grad_z, dtype=np.float64).reshape(-1, self.out_dim)
+        with _obs.span("bw_transfer", tag=tag):
+            cfg, ch = self._cfg, self.ctx.channel
+            a, b = self.ctx.A, self.ctx.B
+            grad_z = np.asarray(grad_z, dtype=np.float64).reshape(-1, self.out_dim)
 
-        # Line 12: B encrypts grad_Z and grad_Z V_A^T (it holds V_A).
-        enc_gz = CryptoTensor.encrypt(
-            b.public_key, grad_z, obfuscate=True, parallel=self.parallel
-        )
-        enc_gzva = CryptoTensor.encrypt(
-            b.public_key, grad_z @ self._b.v_peer.T, obfuscate=True,
-            parallel=self.parallel,
-        )
-        ch.send(b.name, a.name, f"{tag}.bwd.gZ", enc_gz, MessageKind.CIPHERTEXT)
-        ch.send(b.name, a.name, f"{tag}.bwd.gZVA", enc_gzva, MessageKind.CIPHERTEXT)
-        enc_gz_at_a = ch.recv(a.name, f"{tag}.bwd.gZ")
-        enc_gzva_at_a = ch.recv(a.name, f"{tag}.bwd.gZVA")
-
-        # Line 13-14: <phi, grad_W_A - phi>.
-        ct = matmul_plain_cipher(self._a.psi.T, enc_gz_at_a, parallel=self.parallel)
-        phi = self._he2ss(ct, a, "B", f"{tag}.bwd.psiTgZ", cfg.grad_mask_scale)
-        psi_t_gz_share = he2ss_receive(b, ch, f"{tag}.bwd.psiTgZ")
-        gw_a_minus_phi = self._b.e_minus_psi_peer.T @ grad_z + psi_t_gz_share
-
-        # Line 15-16: <xi, grad_W_B - xi>.
-        ct = matmul_plain_cipher(
-            self._a.e_minus_psi_peer.T, enc_gz_at_a, parallel=self.parallel
-        )
-        xi = self._he2ss(ct, a, "B", f"{tag}.bwd.eTgZ", cfg.grad_mask_scale)
-        e_t_gz_share = he2ss_receive(b, ch, f"{tag}.bwd.eTgZ")
-        gw_b_minus_xi = self._b.psi.T @ grad_z + e_t_gz_share
-
-        # Line 21 at A: [[grad_E_A]]_B = [[gZ]] U_A^T + [[gZ V_A^T]].
-        enc_ge_a = (
-            matmul_cipher_plain(enc_gz_at_a, self._a.u.T, parallel=self.parallel)
-            + enc_gzva_at_a
-        )
-        # Line 21 at B: [[grad_E_B]]_A = gZ U_B^T + gZ [[V_B^T]]_A.
-        enc_ge_b = matmul_plain_cipher(
-            grad_z, self._b.enc_v_own.T, parallel=self.parallel
-        ) + (grad_z @ self._b.u.T)
-
-        # Lines 22-23: encrypted lkup_bw, then <rho, grad_Q - rho>.
-        use_delta = cfg.share_refresh == "delta"
-        rho, gq_share, touched = {}, {}, {}
-        for who, enc_ge in (("A", enc_ge_a), ("B", enc_ge_b)):
-            state, me, peer = self._party_pair(who)
-            total = self.total_a if who == "A" else self.total_b
-            rows: CryptoTensor | PackedCryptoTensor = CryptoTensor(
-                enc_ge.public_key,
-                enc_ge.data.reshape(-1, self.emb_dim),
-            )
-            # Packed lkup_bw: lift the (batch * fields) gradient rows into
-            # lanes once — far fewer elements than the table the scatter
-            # lands in — then scatter-add with lane-wise mulmods.  The
-            # table gradient stays packed all the way through HE2SS, so
-            # the transfer ships (and the key owner decrypts/blinds)
-            # ``slots``-fold fewer ciphertexts.  The pack promises the
-            # layout's pre-accumulation operand budget widened by the
-            # rows' own out_dim-deep contraction (gZ @ U^T plus the gZ V^T
-            # term), so a batch whose compound fan-in exceeds the designed
-            # depth raises before the scatter executes.
-            layout = self._piece_layout(enc_ge.public_key, width=self.emb_dim)
-            if layout is not None:
-                rows = rows.pack(
-                    layout,
-                    value_bits=layout.acc_operand_bits_for(self.out_dim + 1),
+            # Line 12: B encrypts grad_Z and grad_Z V_A^T (it holds V_A).
+            with _obs.span("encrypt", party=b.name, tag=f"{tag}.bwd.gZ"):
+                enc_gz = CryptoTensor.encrypt(
+                    b.public_key, grad_z, obfuscate=True, parallel=self.parallel
+                )
+                enc_gzva = CryptoTensor.encrypt(
+                    b.public_key, grad_z @ self._b.v_peer.T, obfuscate=True,
                     parallel=self.parallel,
                 )
-            # ``obfuscate_empty=False``: the scatter result goes straight
-            # into ``_he2ss`` below, which homomorphically adds a *freshly
-            # blinded* mask encryption to every ciphertext — untouched rows
-            # are re-randomised at the party boundary anyway, so paying a
-            # blinder per untouched table cell here would be pure waste on
-            # large vocabularies.
-            if use_delta:
-                uniq, remap = np.unique(state.flat_idx, return_inverse=True)
-                touched[who] = uniq
-                ch.send(
-                    me.name, peer.name, f"{tag}.bwd.touched_{who}", uniq,
-                    MessageKind.PUBLIC,
-                )
-                enc_gq = rows.scatter_add_rows(
-                    remap, num_rows=uniq.shape[0], parallel=self.parallel,
-                    obfuscate_empty=False,
-                )
-            else:
-                touched[who] = None
-                enc_gq = rows.scatter_add_rows(
-                    state.flat_idx, num_rows=total, parallel=self.parallel,
-                    obfuscate_empty=False,
-                )
-            rho[who] = self._he2ss(
-                enc_gq, me, peer.name, f"{tag}.bwd.gQ_{who}", cfg.grad_mask_scale
-            )
-            if use_delta:
-                touched[who + "_peer"] = ch.recv(peer.name, f"{tag}.bwd.touched_{who}")
-            gq_share[who] = he2ss_receive(peer, ch, f"{tag}.bwd.gQ_{who}")
+            ch.send(b.name, a.name, f"{tag}.bwd.gZ", enc_gz, MessageKind.CIPHERTEXT)
+            ch.send(b.name, a.name, f"{tag}.bwd.gZVA", enc_gzva, MessageKind.CIPHERTEXT)
+            enc_gz_at_a = ch.recv(a.name, f"{tag}.bwd.gZ")
+            enc_gzva_at_a = ch.recv(a.name, f"{tag}.bwd.gZVA")
 
-        self._a.pending = {
-            "phi": phi,  # piece of grad_W_A
-            "xi": xi,  # piece of grad_W_B (updates V_B at A)
-            "rho": rho["A"],  # piece of grad_Q_A (updates S_A at A)
-            "gq_peer": gq_share["B"],  # grad_Q_B - rho_B (updates T_B at A)
-            "touched_own": touched["A"],
-            "touched_peer": touched.get("B_peer"),
-        }
-        self._b.pending = {
-            "gw_a_share": gw_a_minus_phi,  # updates V_A at B
-            "gw_b_share": gw_b_minus_xi,  # updates U_B at B
-            "rho": rho["B"],  # updates S_B at B
-            "gq_peer": gq_share["A"],  # grad_Q_A - rho_A (updates T_A at B)
-            "touched_own": touched["B"],
-            "touched_peer": touched.get("A_peer"),
-        }
+            # Line 13-14: <phi, grad_W_A - phi>.
+            ct = matmul_plain_cipher(self._a.psi.T, enc_gz_at_a, parallel=self.parallel)
+            phi = self._he2ss(ct, a, "B", f"{tag}.bwd.psiTgZ", cfg.grad_mask_scale)
+            psi_t_gz_share = he2ss_receive(b, ch, f"{tag}.bwd.psiTgZ")
+            gw_a_minus_phi = self._b.e_minus_psi_peer.T @ grad_z + psi_t_gz_share
+
+            # Line 15-16: <xi, grad_W_B - xi>.
+            ct = matmul_plain_cipher(
+                self._a.e_minus_psi_peer.T, enc_gz_at_a, parallel=self.parallel
+            )
+            xi = self._he2ss(ct, a, "B", f"{tag}.bwd.eTgZ", cfg.grad_mask_scale)
+            e_t_gz_share = he2ss_receive(b, ch, f"{tag}.bwd.eTgZ")
+            gw_b_minus_xi = self._b.psi.T @ grad_z + e_t_gz_share
+
+            # Line 21 at A: [[grad_E_A]]_B = [[gZ]] U_A^T + [[gZ V_A^T]].
+            enc_ge_a = (
+                matmul_cipher_plain(enc_gz_at_a, self._a.u.T, parallel=self.parallel)
+                + enc_gzva_at_a
+            )
+            # Line 21 at B: [[grad_E_B]]_A = gZ U_B^T + gZ [[V_B^T]]_A.
+            enc_ge_b = matmul_plain_cipher(
+                grad_z, self._b.enc_v_own.T, parallel=self.parallel
+            ) + (grad_z @ self._b.u.T)
+
+            # Lines 22-23: encrypted lkup_bw, then <rho, grad_Q - rho>.
+            use_delta = cfg.share_refresh == "delta"
+            rho, gq_share, touched = {}, {}, {}
+            for who, enc_ge in (("A", enc_ge_a), ("B", enc_ge_b)):
+                state, me, peer = self._party_pair(who)
+                total = self.total_a if who == "A" else self.total_b
+                with _obs.span("lkup_bw", party=me.name, tag=f"{tag}.bwd.gQ_{who}"):
+                    rows: CryptoTensor | PackedCryptoTensor = CryptoTensor(
+                        enc_ge.public_key,
+                        enc_ge.data.reshape(-1, self.emb_dim),
+                    )
+                    # Packed lkup_bw: lift the (batch * fields) gradient rows
+                    # into lanes once — far fewer elements than the table the
+                    # scatter lands in — then scatter-add with lane-wise
+                    # mulmods.  The table gradient stays packed all the way
+                    # through HE2SS, so the transfer ships (and the key owner
+                    # decrypts/blinds) ``slots``-fold fewer ciphertexts.  The
+                    # pack promises the layout's pre-accumulation operand
+                    # budget widened by the rows' own out_dim-deep
+                    # contraction (gZ @ U^T plus the gZ V^T term), so a batch
+                    # whose compound fan-in exceeds the designed depth raises
+                    # before the scatter executes.
+                    layout = self._piece_layout(enc_ge.public_key, width=self.emb_dim)
+                    if layout is not None:
+                        rows = rows.pack(
+                            layout,
+                            value_bits=layout.acc_operand_bits_for(self.out_dim + 1),
+                            parallel=self.parallel,
+                        )
+                    # ``obfuscate_empty=False``: the scatter result goes
+                    # straight into ``_he2ss`` below, which homomorphically
+                    # adds a *freshly blinded* mask encryption to every
+                    # ciphertext — untouched rows are re-randomised at the
+                    # party boundary anyway, so paying a blinder per
+                    # untouched table cell here would be pure waste on large
+                    # vocabularies.
+                    if use_delta:
+                        uniq, remap = np.unique(state.flat_idx, return_inverse=True)
+                        touched[who] = uniq
+                        ch.send(
+                            me.name, peer.name, f"{tag}.bwd.touched_{who}", uniq,
+                            MessageKind.PUBLIC,
+                        )
+                        enc_gq = rows.scatter_add_rows(
+                            remap, num_rows=uniq.shape[0], parallel=self.parallel,
+                            obfuscate_empty=False,
+                        )
+                    else:
+                        touched[who] = None
+                        enc_gq = rows.scatter_add_rows(
+                            state.flat_idx, num_rows=total, parallel=self.parallel,
+                            obfuscate_empty=False,
+                        )
+                    rho[who] = self._he2ss(
+                        enc_gq, me, peer.name, f"{tag}.bwd.gQ_{who}",
+                        cfg.grad_mask_scale,
+                    )
+                    if use_delta:
+                        touched[who + "_peer"] = ch.recv(
+                            peer.name, f"{tag}.bwd.touched_{who}"
+                        )
+                    gq_share[who] = he2ss_receive(peer, ch, f"{tag}.bwd.gQ_{who}")
+
+            self._a.pending = {
+                "phi": phi,  # piece of grad_W_A
+                "xi": xi,  # piece of grad_W_B (updates V_B at A)
+                "rho": rho["A"],  # piece of grad_Q_A (updates S_A at A)
+                "gq_peer": gq_share["B"],  # grad_Q_B - rho_B (updates T_B at A)
+                "touched_own": touched["A"],
+                "touched_peer": touched.get("B_peer"),
+            }
+            self._b.pending = {
+                "gw_a_share": gw_a_minus_phi,  # updates V_A at B
+                "gw_b_share": gw_b_minus_xi,  # updates U_B at B
+                "rho": rho["B"],  # updates S_B at B
+                "gq_peer": gq_share["A"],  # grad_Q_A - rho_A (updates T_A at B)
+                "touched_own": touched["B"],
+                "touched_peer": touched.get("A_peer"),
+            }
 
     # --------------------------------------------------------------------- step
 

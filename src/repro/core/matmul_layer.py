@@ -41,6 +41,7 @@ from repro.crypto.packing import PackedCryptoTensor
 from repro.crypto.parallel import ParallelContext
 from repro.crypto.secret_sharing import he2ss_receive
 from repro.core.federated import FederatedParameter, SourceLayer
+from repro.obs import tracer as _obs
 from repro.tensor.sparse import CSRMatrix
 
 __all__ = ["MatMulSource", "matmul_any"]
@@ -182,30 +183,32 @@ class MatMulSource(SourceLayer):
         """Figure 6 lines 5-8; returns Z at Party B."""
         self._step += 1
         tag = f"{self.name}.{self._step}"
-        ctx, cfg = self.ctx, self._cfg
-        a, b, ch = ctx.A, ctx.B, ctx.channel
-        # The backward transfer contracts over the batch dimension; a batch
-        # deeper than the packed layouts budgeted for must fail loudly now.
-        # Inference passes never run that contraction, so they are exempt.
-        if train:
-            self._check_packing_depth(_batch_rows(x_a))
-            self._a.x_cache = x_a
-            self._b.x_cache = x_b
-        # Line 5-6 at A: [[X_A V_A]] -> <eps_A, X_A V_A - eps_A>.
-        ct_a = _matmul_cipher(x_a, self._a.enc_v_own, parallel=self.parallel)
-        eps_a = self._he2ss(ct_a, a, "B", f"{tag}.fwd.XV_A", cfg.mask_scale)
-        # Symmetric at B.
-        ct_b = _matmul_cipher(x_b, self._b.enc_v_own, parallel=self.parallel)
-        eps_b = self._he2ss(ct_b, b, "A", f"{tag}.fwd.XV_B", cfg.mask_scale)
-        xv_b_share = he2ss_receive(a, ch, f"{tag}.fwd.XV_B")  # X_B V_B - eps_B
-        xv_a_share = he2ss_receive(b, ch, f"{tag}.fwd.XV_A")  # X_A V_A - eps_A
-        # Line 7: per-party output shares.
-        z_a = matmul_any(x_a, self._a.u) + eps_a + xv_b_share
-        z_b = matmul_any(x_b, self._b.u) + eps_b + xv_a_share
-        # Line 8: A releases its share of Z (Party B is entitled to Z).
-        ch.send(a.name, b.name, f"{tag}.fwd.Z_A", z_a, MessageKind.OUTPUT_SHARE)
-        z_a_at_b = ch.recv(b.name, f"{tag}.fwd.Z_A")
-        return z_a_at_b + z_b
+        with _obs.span("fw_transfer", tag=tag):
+            ctx, cfg = self.ctx, self._cfg
+            a, b, ch = ctx.A, ctx.B, ctx.channel
+            # The backward transfer contracts over the batch dimension; a
+            # batch deeper than the packed layouts budgeted for must fail
+            # loudly now.  Inference passes never run that contraction, so
+            # they are exempt.
+            if train:
+                self._check_packing_depth(_batch_rows(x_a))
+                self._a.x_cache = x_a
+                self._b.x_cache = x_b
+            # Line 5-6 at A: [[X_A V_A]] -> <eps_A, X_A V_A - eps_A>.
+            ct_a = _matmul_cipher(x_a, self._a.enc_v_own, parallel=self.parallel)
+            eps_a = self._he2ss(ct_a, a, "B", f"{tag}.fwd.XV_A", cfg.mask_scale)
+            # Symmetric at B.
+            ct_b = _matmul_cipher(x_b, self._b.enc_v_own, parallel=self.parallel)
+            eps_b = self._he2ss(ct_b, b, "A", f"{tag}.fwd.XV_B", cfg.mask_scale)
+            xv_b_share = he2ss_receive(a, ch, f"{tag}.fwd.XV_B")  # X_B V_B - eps_B
+            xv_a_share = he2ss_receive(b, ch, f"{tag}.fwd.XV_A")  # X_A V_A - eps_A
+            # Line 7: per-party output shares.
+            z_a = matmul_any(x_a, self._a.u) + eps_a + xv_b_share
+            z_b = matmul_any(x_b, self._b.u) + eps_b + xv_a_share
+            # Line 8: A releases its share of Z (Party B is entitled to Z).
+            ch.send(a.name, b.name, f"{tag}.fwd.Z_A", z_a, MessageKind.OUTPUT_SHARE)
+            z_a_at_b = ch.recv(b.name, f"{tag}.fwd.Z_A")
+            return z_a_at_b + z_b
 
     def forward_shares(
         self, x_a: np.ndarray | CSRMatrix, x_b: np.ndarray | CSRMatrix, train: bool = True
@@ -217,21 +220,22 @@ class MatMulSource(SourceLayer):
         """
         self._step += 1
         tag = f"{self.name}.{self._step}"
-        ctx, cfg = self.ctx, self._cfg
-        a, b, ch = ctx.A, ctx.B, ctx.channel
-        if train:
-            self._check_packing_depth(_batch_rows(x_a))
-            self._a.x_cache = x_a
-            self._b.x_cache = x_b
-        ct_a = _matmul_cipher(x_a, self._a.enc_v_own, parallel=self.parallel)
-        eps_a = self._he2ss(ct_a, a, "B", f"{tag}.fwd.XV_A", cfg.mask_scale)
-        ct_b = _matmul_cipher(x_b, self._b.enc_v_own, parallel=self.parallel)
-        eps_b = self._he2ss(ct_b, b, "A", f"{tag}.fwd.XV_B", cfg.mask_scale)
-        xv_b_share = he2ss_receive(a, ch, f"{tag}.fwd.XV_B")
-        xv_a_share = he2ss_receive(b, ch, f"{tag}.fwd.XV_A")
-        z_a = matmul_any(x_a, self._a.u) + eps_a + xv_b_share
-        z_b = matmul_any(x_b, self._b.u) + eps_b + xv_a_share
-        return z_a, z_b
+        with _obs.span("fw_transfer", tag=tag):
+            ctx, cfg = self.ctx, self._cfg
+            a, b, ch = ctx.A, ctx.B, ctx.channel
+            if train:
+                self._check_packing_depth(_batch_rows(x_a))
+                self._a.x_cache = x_a
+                self._b.x_cache = x_b
+            ct_a = _matmul_cipher(x_a, self._a.enc_v_own, parallel=self.parallel)
+            eps_a = self._he2ss(ct_a, a, "B", f"{tag}.fwd.XV_A", cfg.mask_scale)
+            ct_b = _matmul_cipher(x_b, self._b.enc_v_own, parallel=self.parallel)
+            eps_b = self._he2ss(ct_b, b, "A", f"{tag}.fwd.XV_B", cfg.mask_scale)
+            xv_b_share = he2ss_receive(a, ch, f"{tag}.fwd.XV_B")
+            xv_a_share = he2ss_receive(b, ch, f"{tag}.fwd.XV_A")
+            z_a = matmul_any(x_a, self._a.u) + eps_a + xv_b_share
+            z_b = matmul_any(x_b, self._b.u) + eps_b + xv_a_share
+            return z_a, z_b
 
     # ----------------------------------------------------------------- backward
 
@@ -242,40 +246,42 @@ class MatMulSource(SourceLayer):
         if self._a.pending or self._b.pending:
             raise RuntimeError("pending updates not applied; call apply_updates")
         tag = f"{self.name}.{self._step}"
-        ctx, cfg = self.ctx, self._cfg
-        a, b, ch = ctx.A, ctx.B, ctx.channel
-        grad_z = np.asarray(grad_z, dtype=np.float64).reshape(-1, self.out_dim)
-        # Line 9: B encrypts the derivatives (label protection, Req 3).
-        enc_gz = CryptoTensor.encrypt(
-            b.public_key, grad_z, obfuscate=True, parallel=self.parallel
-        )
-        ch.send(b.name, a.name, f"{tag}.bwd.gZ", enc_gz, MessageKind.CIPHERTEXT)
-        enc_gz_at_a = ch.recv(a.name, f"{tag}.bwd.gZ")
-        x_a = self._a.x_cache
-        use_delta = cfg.share_refresh == "delta" and isinstance(x_a, CSRMatrix)
-        if use_delta:
-            # Sparse-aware: only the column support of this batch carries
-            # gradient; restrict the crypto to those coordinates.
-            support = x_a.column_support()
-            ch.send(
-                a.name, b.name, f"{tag}.bwd.support", support, MessageKind.PUBLIC
-            )
-            enc_gw = _t_matmul_cipher(
-                x_a, enc_gz_at_a, columns=support, parallel=self.parallel
-            )
-        else:
-            support = None
-            enc_gw = _t_matmul_cipher(x_a, enc_gz_at_a, parallel=self.parallel)
-        # Line 10: <phi, grad_W_A - phi>.
-        phi = self._he2ss(enc_gw, a, "B", f"{tag}.bwd.gW_A", cfg.grad_mask_scale)
-        support_at_b = ch.recv(b.name, f"{tag}.bwd.support") if use_delta else None
-        gw_minus_phi = he2ss_receive(b, ch, f"{tag}.bwd.gW_A")
-        self._a.pending = {"phi": phi, "support": support}
-        self._b.pending = {
-            "gw_a_share": gw_minus_phi,
-            "support": support_at_b,
-            "gw_b": t_matmul_any(self._b.x_cache, grad_z),  # line 11, local at B
-        }
+        with _obs.span("bw_transfer", tag=tag):
+            ctx, cfg = self.ctx, self._cfg
+            a, b, ch = ctx.A, ctx.B, ctx.channel
+            grad_z = np.asarray(grad_z, dtype=np.float64).reshape(-1, self.out_dim)
+            # Line 9: B encrypts the derivatives (label protection, Req 3).
+            with _obs.span("encrypt", party=b.name, tag=f"{tag}.bwd.gZ"):
+                enc_gz = CryptoTensor.encrypt(
+                    b.public_key, grad_z, obfuscate=True, parallel=self.parallel
+                )
+            ch.send(b.name, a.name, f"{tag}.bwd.gZ", enc_gz, MessageKind.CIPHERTEXT)
+            enc_gz_at_a = ch.recv(a.name, f"{tag}.bwd.gZ")
+            x_a = self._a.x_cache
+            use_delta = cfg.share_refresh == "delta" and isinstance(x_a, CSRMatrix)
+            if use_delta:
+                # Sparse-aware: only the column support of this batch carries
+                # gradient; restrict the crypto to those coordinates.
+                support = x_a.column_support()
+                ch.send(
+                    a.name, b.name, f"{tag}.bwd.support", support, MessageKind.PUBLIC
+                )
+                enc_gw = _t_matmul_cipher(
+                    x_a, enc_gz_at_a, columns=support, parallel=self.parallel
+                )
+            else:
+                support = None
+                enc_gw = _t_matmul_cipher(x_a, enc_gz_at_a, parallel=self.parallel)
+            # Line 10: <phi, grad_W_A - phi>.
+            phi = self._he2ss(enc_gw, a, "B", f"{tag}.bwd.gW_A", cfg.grad_mask_scale)
+            support_at_b = ch.recv(b.name, f"{tag}.bwd.support") if use_delta else None
+            gw_minus_phi = he2ss_receive(b, ch, f"{tag}.bwd.gW_A")
+            self._a.pending = {"phi": phi, "support": support}
+            self._b.pending = {
+                "gw_a_share": gw_minus_phi,
+                "support": support_at_b,
+                "gw_b": t_matmul_any(self._b.x_cache, grad_z),  # line 11, local at B
+            }
 
     # --------------------------------------------------------------------- step
 

@@ -24,6 +24,9 @@ import numpy as np
 
 from repro.crypto.parallel import ParallelContext, use_parallel
 from repro.core.federated import FederatedModule
+from repro.obs.sinks import make_sink
+from repro.obs.tracer import Tracer, use_tracer
+from repro.obs import tracer as _obs
 from repro.core.optimizer import FederatedSGD
 from repro.data.loader import Batch, BatchLoader
 from repro.data.partition import VerticalDataset
@@ -69,6 +72,12 @@ class TrainConfig:
     fault-injection knob for testing that property: the trainer raises
     :class:`~repro.core.checkpoint.TrainingInterrupted` after that many
     batches have run in this process.
+    ``telemetry`` turns on the phase tracer (see :mod:`repro.obs`) for the
+    run: ``"memory"`` keeps the trace on ``History.trace`` only, ``"null"``
+    additionally streams spans to a no-op sink (plumbing check),
+    ``"jsonl"``/``"chrome"`` also export to ``telemetry_path``.  ``None``
+    (or ``"off"``) is the default: no tracer is installed and every
+    instrumentation site short-circuits on one ``is None`` check.
     """
 
     epochs: int = 10
@@ -84,6 +93,8 @@ class TrainConfig:
     checkpoint_path: str | None = None
     checkpoint_every: int = 0
     crash_after_batches: int | None = None
+    telemetry: str | None = None
+    telemetry_path: str | None = None
 
 
 @dataclass
@@ -93,6 +104,10 @@ class History:
     losses: list[float] = field(default_factory=list)
     epoch_metrics: list[float] = field(default_factory=list)
     metric_name: str = ""
+    # Span dicts from the run's tracer (``TrainConfig.telemetry``); None
+    # when telemetry was off.  Not checkpointed — a resumed run records
+    # only its own process's trace.
+    trace: list[dict] | None = None
 
     @property
     def final_metric(self) -> float:
@@ -154,61 +169,77 @@ def train_federated(
         engine = use_parallel(ParallelContext(workers=config.parallel_workers))
     else:
         engine = contextlib.nullcontext(None)
+    tracer: Tracer | None = None
+    if config.telemetry is not None and config.telemetry != "off":
+        tracer = Tracer(sink=make_sink(config.telemetry, config.telemetry_path))
+        scope = use_tracer(tracer)
+    else:
+        scope = contextlib.nullcontext(None)
     batches_run = 0
-    with engine as parallel:
+    with engine as parallel, scope:
         for epoch in range(start_epoch, config.epochs):
-            resuming = epoch == start_epoch and resume_order is not None
-            if resuming:
-                # Mid-epoch re-entry: the prefill and the order shuffle
-                # already happened before the checkpoint was written —
-                # their effects live in the restored RNG/pool states.
-                order, first_batch = resume_order, resume_batch
-            else:
-                if config.blinding_pool_per_epoch > 0:
-                    _prefill_blinding(
-                        model, config.blinding_pool_per_epoch, parallel
+            with _obs.span("epoch", epoch=epoch):
+                resuming = epoch == start_epoch and resume_order is not None
+                if resuming:
+                    # Mid-epoch re-entry: the prefill and the order shuffle
+                    # already happened before the checkpoint was written —
+                    # their effects live in the restored RNG/pool states.
+                    order, first_batch = resume_order, resume_batch
+                else:
+                    if config.blinding_pool_per_epoch > 0:
+                        with _obs.span("blinding_refill", epoch=epoch):
+                            _prefill_blinding(
+                                model, config.blinding_pool_per_epoch, parallel
+                            )
+                    order, first_batch = None, 0
+                loader = BatchLoader(train_data, config.batch_size, rng=rng)
+                if order is None:
+                    order = loader.draw_order()
+                for batch_no, batch in loader.batches(order, start=first_batch):
+                    if (
+                        max_batches_per_epoch is not None
+                        and batch_no >= max_batches_per_epoch
+                    ):
+                        break
+                    with _obs.span("batch", epoch=epoch, batch=batch_no):
+                        output = model.forward(batch, train=True)
+                        optimizer.zero_grad()
+                        loss = criterion(output, batch.y)
+                        loss.backward()
+                        model.backward_sources()
+                        optimizer.step()
+                        history.losses.append(loss.item())
+                        batches_run += 1
+                        if (
+                            config.checkpoint_path is not None
+                            and config.checkpoint_every > 0
+                            and batches_run % config.checkpoint_every == 0
+                        ):
+                            with _obs.span("checkpoint", epoch=epoch, batch=batch_no):
+                                save_checkpoint(
+                                    config.checkpoint_path, model, optimizer,
+                                    epoch=epoch, next_batch=batch_no + 1,
+                                    order=order, loader_rng=rng, history=history,
+                                )
+                    if (
+                        config.crash_after_batches is not None
+                        and batches_run >= config.crash_after_batches
+                    ):
+                        raise TrainingInterrupted(
+                            f"injected crash after {batches_run} batches "
+                            f"(epoch {epoch}, batch {batch_no})",
+                            checkpoint_path=config.checkpoint_path,
+                        )
+                if test_data is not None:
+                    history.epoch_metrics.append(
+                        evaluate_federated(
+                            model, test_data, config.batch_size
+                        )[metric_name]
                     )
-                order, first_batch = None, 0
-            loader = BatchLoader(train_data, config.batch_size, rng=rng)
-            if order is None:
-                order = loader.draw_order()
-            for batch_no, batch in loader.batches(order, start=first_batch):
-                if (
-                    max_batches_per_epoch is not None
-                    and batch_no >= max_batches_per_epoch
-                ):
-                    break
-                output = model.forward(batch, train=True)
-                optimizer.zero_grad()
-                loss = criterion(output, batch.y)
-                loss.backward()
-                model.backward_sources()
-                optimizer.step()
-                history.losses.append(loss.item())
-                batches_run += 1
-                if (
-                    config.checkpoint_path is not None
-                    and config.checkpoint_every > 0
-                    and batches_run % config.checkpoint_every == 0
-                ):
-                    save_checkpoint(
-                        config.checkpoint_path, model, optimizer,
-                        epoch=epoch, next_batch=batch_no + 1, order=order,
-                        loader_rng=rng, history=history,
-                    )
-                if (
-                    config.crash_after_batches is not None
-                    and batches_run >= config.crash_after_batches
-                ):
-                    raise TrainingInterrupted(
-                        f"injected crash after {batches_run} batches "
-                        f"(epoch {epoch}, batch {batch_no})",
-                        checkpoint_path=config.checkpoint_path,
-                    )
-            if test_data is not None:
-                history.epoch_metrics.append(
-                    evaluate_federated(model, test_data, config.batch_size)[metric_name]
-                )
+    if tracer is not None:
+        # use_tracer closed the tracer on scope exit (root span included),
+        # so the dict view below is the complete trace.
+        history.trace = tracer.to_dicts()
     return history
 
 

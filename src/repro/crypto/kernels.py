@@ -42,6 +42,7 @@ import numpy as np
 from repro.crypto.encoding import EncodedNumber
 from repro.crypto.math_utils import invmod, powmod
 from repro.crypto.parallel import ParallelContext, get_default_context
+from repro.obs import tracer as _obs
 
 __all__ = [
     "TENSOR_EXPONENT",
@@ -101,6 +102,7 @@ def raw_mul_many(
     half = n // 2
     out: list[int] = []
     append = out.append
+    pows = 0
     for c, m in pairs:
         if m >= half:
             c = invmod(c, nsq)
@@ -111,6 +113,11 @@ def raw_mul_many(
             append(c)
         else:
             append(powmod(c, m, nsq))
+            pows += 1
+    if pows:
+        trc = _obs.get_tracer()
+        if trc is not None:
+            trc.add("pow.mul", pows)
     return out
 
 
@@ -172,6 +179,9 @@ def encrypt_flat(
     if obfuscate:
         blinders = public_key.blinding_factors(len(cts), parallel=_resolve(parallel))
         cts = [(c * b) % nsq for c, b in zip(cts, blinders)]
+    trc = _obs.get_tracer()
+    if trc is not None:
+        trc.add("ct.encrypted", len(cts))
     return cts
 
 
@@ -193,7 +203,13 @@ def crt_decrypt_many(
     if ctx is not None and ctx.should_parallelize(len(cts)):
         return ctx.crt_decrypt_many(private_key, cts)
     raw_decrypt = private_key.raw_decrypt
-    return [raw_decrypt(c) for c in cts]
+    out = [raw_decrypt(c) for c in cts]
+    if out:
+        trc = _obs.get_tracer()
+        if trc is not None:
+            trc.add("pow.crt", 2 * len(out))
+            trc.add("ct.decrypted", len(out))
+    return out
 
 
 def decrypt_flat(
@@ -255,6 +271,11 @@ def align_flat(
         c if e == target else _shift_ct(public_key, c, e - target)
         for c, e in zip(cts, exponents)
     ]
+    shifted = sum(1 for e in exponents if e != target)
+    if shifted:
+        trc = _obs.get_tracer()
+        if trc is not None:
+            trc.add("pow.shift", shifted)
     return out, target
 
 
@@ -275,17 +296,24 @@ def add_cipher_flat(
     nsq = public_key.nsquare
     out_cts: list[int] = []
     out_exps: list[int] = []
+    shifts = 0
     for ca, ea, cb, eb in zip(a_cts, a_exps, b_cts, b_exps):
         if ea > eb:
             ca = _shift_ct(public_key, ca, ea - eb)
             e = eb
+            shifts += 1
         elif eb > ea:
             cb = _shift_ct(public_key, cb, eb - ea)
             e = ea
+            shifts += 1
         else:
             e = ea
         out_cts.append((ca * cb) % nsq)
         out_exps.append(e)
+    if shifts:
+        trc = _obs.get_tracer()
+        if trc is not None:
+            trc.add("pow.shift", shifts)
     return out_cts, out_exps
 
 
@@ -319,6 +347,7 @@ def add_plain_flat(
     out_cts: list[int] = []
     out_exps: list[int] = []
     enc_cache: dict[float, tuple[int, int]] = {}
+    shifts = 0
     for c, e, v in zip(cts, exps, np.asarray(values, dtype=np.float64).ravel().tolist()):
         cached = enc_cache.get(v)
         if cached is None:
@@ -332,10 +361,15 @@ def add_plain_flat(
         elif ev < e:
             c = _shift_ct(public_key, c, e - ev)
             te = ev
+            shifts += 1
         else:
             te = e
         out_cts.append((c * (1 + m * n)) % nsq)
         out_exps.append(te)
+    if shifts:
+        trc = _obs.get_tracer()
+        if trc is not None:
+            trc.add("pow.shift", shifts)
     return out_cts, out_exps
 
 

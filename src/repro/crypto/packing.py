@@ -79,6 +79,7 @@ from repro.crypto.kernels import PLAIN_EXPONENT, TENSOR_EXPONENT, raw_mul_many
 from repro.crypto.math_utils import invmod
 from repro.crypto.paillier import EncryptedNumber, PaillierPublicKey
 from repro.crypto.parallel import ParallelContext
+from repro.obs import tracer as _obs
 
 __all__ = [
     "SlotLayout",
@@ -396,6 +397,9 @@ def pack_encrypt_flat(
     if obfuscate:
         blinders = public_key.blinding_factors(len(cts), parallel=parallel)
         cts = [(c * b) % nsq for c, b in zip(cts, blinders)]
+    trc = _obs.get_tracer()
+    if trc is not None:
+        trc.add("ct.encrypted", len(cts))
     return cts
 
 
@@ -506,6 +510,9 @@ def pack_rows_flat(
                 acc = (acc * powered[pos + j]) % nsq
             pos += width
             out.append(acc)
+    trc = _obs.get_tracer()
+    if trc is not None:
+        trc.add("ct.packed", len(out))
     return out
 
 

@@ -33,6 +33,7 @@ from collections import deque
 
 from repro.crypto.encoding import EncodedNumber
 from repro.crypto.math_utils import generate_prime, invmod, powmod, powmod_base_many
+from repro.obs import tracer as _obs
 
 __all__ = [
     "PaillierPublicKey",
@@ -129,11 +130,20 @@ class PaillierPublicKey:
         """The λ-shortcut base ``h = r0^n mod n^2`` (one pow per key)."""
         if self._h is None:
             self._h = powmod(self._draw_blinding_base(), self.n, self.nsquare)
+            # One full n-exponent pow: same bit class as a classic blinder.
+            trc = _obs.get_tracer()
+            if trc is not None:
+                trc.add("pow.blind.classic", 1)
         return self._h
 
     def _random_blinding(self) -> int:
+        trc = _obs.get_tracer()
         if self._blind_pool:
+            if trc is not None:
+                trc.add("pool.hit", 1)
             return self._blind_pool.popleft()
+        if trc is not None:
+            trc.add("pool.miss", 1)
         return self._compute_blinders(1, None)[0]
 
     def blinding_factors(self, count: int, parallel: object | None = None) -> list[int]:
@@ -149,22 +159,35 @@ class PaillierPublicKey:
         while pool and len(out) < count:
             out.append(pool.popleft())
         need = count - len(out)
+        trc = _obs.get_tracer()
+        if trc is not None:
+            if out:
+                trc.add("pool.hit", len(out))
+            if need > 0:
+                trc.add("pool.miss", need)
         if need > 0:
             out.extend(self._compute_blinders(need, parallel))
         return out
 
     def _compute_blinders(self, count: int, parallel: object | None) -> list[int]:
+        trc = _obs.get_tracer()
         if self.blinding_lambda:
             # λ-exponent shortcut: h^x for random λ-bit x (x >= 1 so a
             # degenerate blinder of 1 can never be drawn).  h^x is an n-th
             # power, so the ciphertext stays a valid re-randomisation; the
             # per-blinder exponent drops from key_bits to λ.
             h = self._ensure_h()
+            # Counted at the dispatch site (exponent class is known here),
+            # so serial and pool execution count identically by construction.
+            if trc is not None:
+                trc.add("pow.blind.lambda", count)
             top = 1 << self.blinding_lambda
             exps = [self._rng.randrange(1, top) for _ in range(count)]
             if parallel is not None and parallel.should_parallelize(count):
                 return parallel.pow_base_many(self, h, exps)
             return powmod_base_many(h, exps, self.nsquare)
+        if trc is not None:
+            trc.add("pow.blind.classic", count)
         bases = [self._draw_blinding_base() for _ in range(count)]
         if parallel is not None and parallel.should_parallelize(count):
             return parallel.pow_n_many(self, bases)

@@ -56,6 +56,7 @@ import os
 from typing import Iterator, Sequence
 
 from repro.crypto.math_utils import invmod, powmod, powmod_base_many
+from repro.obs import tracer as _obs
 
 __all__ = [
     "ParallelContext",
@@ -83,16 +84,21 @@ def _init_worker(n: int, nsquare: int) -> None:
     _W_HALF = n // 2
 
 
-def _raw_mul_chunk(pairs: Sequence[tuple[int, int]]) -> list[int]:
+def _raw_mul_chunk(pairs: Sequence[tuple[int, int]]) -> tuple[list[int], int]:
     """Chunk kernel: ``[(c, mantissa), ...] -> [c^mantissa mod n^2, ...]``.
 
     Mirrors ``PaillierPublicKey.raw_mul`` exactly (including the
     negative-mantissa ciphertext-inversion trick) so serial and parallel
-    execution produce bit-identical ciphertexts.
+    execution produce bit-identical ciphertexts.  Returns the results plus
+    the chunk's modpow count (the 0/±1 shortcuts make it data-dependent)
+    so the worker's counter delta rides the result pipe back to the
+    parent, which attributes it to the span in flight there — worker
+    processes never see the tracer.
     """
     n, nsq, half = _W_N, _W_NSQ, _W_HALF
     out = []
     append = out.append
+    pows = 0
     for c, m in pairs:
         if m >= half:
             c = invmod(c, nsq)
@@ -103,7 +109,8 @@ def _raw_mul_chunk(pairs: Sequence[tuple[int, int]]) -> list[int]:
             append(c)
         else:
             append(powmod(c, m, nsq))
-    return out
+            pows += 1
+    return out, pows
 
 
 def _pow_n_chunk(bases: Sequence[int]) -> list[int]:
@@ -152,12 +159,13 @@ def _init_private_worker(p: int, q: int, hp: int, hq: int, p_inverse: int) -> No
     _W_PINV = p_inverse
 
 
-def _crt_decrypt_chunk(cts: Sequence[int]) -> list[int]:
+def _crt_decrypt_chunk(cts: Sequence[int]) -> tuple[list[int], int]:
     """Chunk kernel: raw CRT decryptions ``c -> m`` with ``m in [0, p*q)``.
 
     Mirrors ``PaillierPrivateKey.raw_decrypt`` exactly (same Paillier-CRT
     recombination) so serial and parallel decryption produce bit-identical
-    plaintext residues.
+    plaintext residues.  The second element is the chunk's half-size
+    modpow count (two per ciphertext), reported like ``_raw_mul_chunk``'s.
     """
     p, q = _W_P, _W_Q
     psq, qsq = _W_PSQ, _W_QSQ
@@ -169,7 +177,7 @@ def _crt_decrypt_chunk(cts: Sequence[int]) -> list[int]:
         mp = ((powmod(c, pm1, psq) - 1) // p * hp) % p
         mq = ((powmod(c, qm1, qsq) - 1) // q * hq) % q
         append(mp + ((mq - mp) * p_inv % q) * p)
-    return out
+    return out, 2 * len(out)
 
 
 class ParallelContext:
@@ -264,8 +272,25 @@ class ParallelContext:
     # -- kernel entry points -------------------------------------------------
 
     def raw_mul_many(self, public_key, pairs: Sequence[tuple[int, int]]) -> list[int]:
-        """Parallel ``c^m mod n^2`` over ``(ciphertext, mantissa)`` pairs."""
-        return self._map(_raw_mul_chunk, public_key, pairs)
+        """Parallel ``c^m mod n^2`` over ``(ciphertext, mantissa)`` pairs.
+
+        Each worker returns its chunk's modpow count alongside the
+        residues; the aggregated delta is attributed to the current span
+        *here*, in the parent, so serial and parallel runs count
+        identically.
+        """
+        pool = self._ensure_pool(public_key.n, public_key.nsquare)
+        chunks = self._chunks(pairs, self.workers * 4)
+        out: list[int] = []
+        pows = 0
+        for part, chunk_pows in pool.map(_raw_mul_chunk, chunks):
+            out.extend(part)
+            pows += chunk_pows
+        if pows:
+            trc = _obs.get_tracer()
+            if trc is not None:
+                trc.add("pow.mul", pows)
+        return out
 
     def pow_n_many(self, public_key, bases: Sequence[int]) -> list[int]:
         """Parallel obfuscation blinders ``r^n mod n^2``."""
@@ -293,8 +318,15 @@ class ParallelContext:
         pool = self._ensure_private_pool(private_key)
         chunks = self._chunks(cts, self.workers * 4)
         out: list[int] = []
-        for part in pool.map(_crt_decrypt_chunk, chunks):
+        pows = 0
+        for part, chunk_pows in pool.map(_crt_decrypt_chunk, chunks):
             out.extend(part)
+            pows += chunk_pows
+        if out:
+            trc = _obs.get_tracer()
+            if trc is not None:
+                trc.add("pow.crt", pows)
+                trc.add("ct.decrypted", len(out))
         return out
 
     def close(self) -> None:

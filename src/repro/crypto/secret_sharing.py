@@ -28,6 +28,7 @@ from repro.comm.message import MessageKind
 from repro.crypto.crypto_tensor import TENSOR_EXPONENT, CryptoTensor
 from repro.crypto.packing import PackedCryptoTensor, SlotLayout
 from repro.crypto.parallel import ParallelContext
+from repro.obs import tracer as _obs
 
 if TYPE_CHECKING:  # pragma: no cover - runtime uses duck typing to avoid
     # a circular import (comm.party needs crypto for key generation).
@@ -88,35 +89,37 @@ def he2ss_split(
     before sending (a scatter output's bound would otherwise encode the
     batch's per-row fan-in — a function of the private indices).
     """
-    phi = holder.rng.uniform(-mask_scale, mask_scale, size=ciphertext.shape)
-    peer_pk = holder.peer_key(key_owner_name)
-    if peer_pk != ciphertext.public_key:
-        raise ValueError("ciphertext is not under the claimed key owner's key")
-    if not isinstance(ciphertext, PackedCryptoTensor) and packing is not None:
-        # Transfer-only tensor: pack row-major across row boundaries (the
-        # receiver only ever decrypts), so even column vectors get the
-        # full slots-fold reduction.
-        ciphertext = PackedCryptoTensor.pack(
-            ciphertext, packing, parallel=parallel, contiguous=True
-        )
-    if isinstance(ciphertext, PackedCryptoTensor):
-        # Fresh obfuscated packed encryption of -phi re-randomises the sum.
-        masked: object = ciphertext.add_plain(
-            -phi, encode_exponent=TENSOR_EXPONENT, obfuscate=True, parallel=parallel
-        )
-        # The lane-bound bookkeeping is derived from the holder's private
-        # operands (feature magnitudes, per-row sparsity) — canonicalise it
-        # to the layout constant before the object crosses the trust
-        # boundary, so the metadata carries nothing the unpacked protocol
-        # would not.  Decryption never reads value_bits.
-        masked.value_bits = masked.layout.lane_cap_bits
-    else:
-        # Fresh obfuscated encryption of -phi re-randomises the whole sum.
-        masked = ciphertext + CryptoTensor.encrypt(
-            peer_pk, -phi, exponent=TENSOR_EXPONENT, obfuscate=True, parallel=parallel
-        )
-    channel.send(holder.name, key_owner_name, tag, masked, MessageKind.CIPHERTEXT)
-    return phi
+    with _obs.span("he2ss_send", party=holder.name, tag=tag):
+        phi = holder.rng.uniform(-mask_scale, mask_scale, size=ciphertext.shape)
+        peer_pk = holder.peer_key(key_owner_name)
+        if peer_pk != ciphertext.public_key:
+            raise ValueError("ciphertext is not under the claimed key owner's key")
+        if not isinstance(ciphertext, PackedCryptoTensor) and packing is not None:
+            # Transfer-only tensor: pack row-major across row boundaries (the
+            # receiver only ever decrypts), so even column vectors get the
+            # full slots-fold reduction.
+            with _obs.span("pack", party=holder.name, tag=tag):
+                ciphertext = PackedCryptoTensor.pack(
+                    ciphertext, packing, parallel=parallel, contiguous=True
+                )
+        if isinstance(ciphertext, PackedCryptoTensor):
+            # Fresh obfuscated packed encryption of -phi re-randomises the sum.
+            masked: object = ciphertext.add_plain(
+                -phi, encode_exponent=TENSOR_EXPONENT, obfuscate=True, parallel=parallel
+            )
+            # The lane-bound bookkeeping is derived from the holder's private
+            # operands (feature magnitudes, per-row sparsity) — canonicalise it
+            # to the layout constant before the object crosses the trust
+            # boundary, so the metadata carries nothing the unpacked protocol
+            # would not.  Decryption never reads value_bits.
+            masked.value_bits = masked.layout.lane_cap_bits
+        else:
+            # Fresh obfuscated encryption of -phi re-randomises the whole sum.
+            masked = ciphertext + CryptoTensor.encrypt(
+                peer_pk, -phi, exponent=TENSOR_EXPONENT, obfuscate=True, parallel=parallel
+            )
+        channel.send(holder.name, key_owner_name, tag, masked, MessageKind.CIPHERTEXT)
+        return phi
 
 
 def he2ss_receive(
@@ -134,10 +137,11 @@ def he2ss_receive(
     workers are the key owner's own OS children, so ``(p, q)`` never leave
     its custody.
     """
-    masked = channel.recv(key_owner.name, tag)
-    if not isinstance(masked, (CryptoTensor, PackedCryptoTensor)):
-        raise TypeError(f"expected a CryptoTensor for tag {tag!r}")
-    return masked.decrypt(key_owner.private_key, parallel=parallel)
+    with _obs.span("decrypt", party=key_owner.name, tag=tag):
+        masked = channel.recv(key_owner.name, tag)
+        if not isinstance(masked, (CryptoTensor, PackedCryptoTensor)):
+            raise TypeError(f"expected a CryptoTensor for tag {tag!r}")
+        return masked.decrypt(key_owner.private_key, parallel=parallel)
 
 
 def ss2he_send(
@@ -149,13 +153,14 @@ def ss2he_send(
     parallel: ParallelContext | None = None,
 ) -> None:
     """Algorithm 2, line 2: encrypt own piece under *own* key and send it."""
-    ciphertext = CryptoTensor.encrypt(
-        me.public_key,
-        np.asarray(own_piece, dtype=np.float64),
-        obfuscate=True,
-        parallel=parallel,
-    )
-    channel.send(me.name, peer_name, tag, ciphertext, MessageKind.CIPHERTEXT)
+    with _obs.span("encrypt", party=me.name, tag=tag):
+        ciphertext = CryptoTensor.encrypt(
+            me.public_key,
+            np.asarray(own_piece, dtype=np.float64),
+            obfuscate=True,
+            parallel=parallel,
+        )
+        channel.send(me.name, peer_name, tag, ciphertext, MessageKind.CIPHERTEXT)
 
 
 def ss2he_combine(

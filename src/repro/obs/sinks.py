@@ -1,0 +1,146 @@
+"""Export sinks for the span tracer.
+
+A sink receives each span as it closes (``emit``) and is flushed once by
+``Tracer.close``.  Sinks only ever see *finished* spans, so every export
+format can be written incrementally.
+
+``make_sink`` maps the ``TrainConfig.telemetry`` knob to a sink:
+
+- ``"memory"``  no export; the tracer's in-memory span list is the trace
+- ``"null"``    explicit no-op sink (exercises the sink plumbing)
+- ``"jsonl"``   one span dict per line, close order
+- ``"chrome"``  a ``chrome://tracing`` / Perfetto-loadable JSON file
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+__all__ = [
+    "NullSink",
+    "JsonlSink",
+    "ChromeTraceSink",
+    "TeeSink",
+    "make_sink",
+    "TELEMETRY_KINDS",
+]
+
+TELEMETRY_KINDS = ("off", "memory", "null", "jsonl", "chrome")
+
+
+class NullSink:
+    """Discards everything."""
+
+    def emit(self, span: Any) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+
+class JsonlSink:
+    """One JSON span dict per line, in span close order."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._fh = open(path, "w", encoding="utf-8")
+
+    def emit(self, span: Any) -> None:
+        self._fh.write(json.dumps(span.to_dict(), sort_keys=True))
+        self._fh.write("\n")
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+
+class ChromeTraceSink:
+    """Chrome trace event format: complete ("X") events, microsecond units.
+
+    Spans of one party share a ``tid`` lane so the trace viewer groups a
+    party's phases on one row; counters and attrs land in ``args``.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._events: list[dict[str, Any]] = []
+        self._tids: dict[str, int] = {}
+
+    def _tid(self, party: str | None) -> int:
+        key = party or "-"
+        if key not in self._tids:
+            self._tids[key] = len(self._tids)
+        return self._tids[key]
+
+    def emit(self, span: Any) -> None:
+        args: dict[str, Any] = dict(span.attrs)
+        args.update(span.counters)
+        self._events.append(
+            {
+                "name": span.phase,
+                "cat": span.party or "span",
+                "ph": "X",
+                "ts": span.t_start * 1e6,
+                "dur": span.dur_s * 1e6,
+                "pid": 0,
+                "tid": self._tid(span.party),
+                "args": args,
+            }
+        )
+
+    def close(self) -> None:
+        if self._events is None:
+            return
+        thread_names = [
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 0,
+                "tid": tid,
+                "args": {"name": party},
+            }
+            for party, tid in self._tids.items()
+        ]
+        with open(self.path, "w", encoding="utf-8") as fh:
+            json.dump(
+                {
+                    "traceEvents": thread_names + self._events,
+                    "displayTimeUnit": "ms",
+                },
+                fh,
+            )
+        self._events = None
+
+
+class TeeSink:
+    """Fan one span stream out to several sinks."""
+
+    def __init__(self, *sinks: Any) -> None:
+        self.sinks = list(sinks)
+
+    def emit(self, span: Any) -> None:
+        for sink in self.sinks:
+            sink.emit(span)
+
+    def close(self) -> None:
+        for sink in self.sinks:
+            sink.close()
+
+
+def make_sink(kind: str, path: str | None = None):
+    """Resolve a ``TrainConfig.telemetry`` value to a sink (or ``None``)."""
+    if kind not in TELEMETRY_KINDS:
+        raise ValueError(
+            f"unknown telemetry kind {kind!r}; expected one of {TELEMETRY_KINDS}"
+        )
+    if kind in ("off", "memory"):
+        return None
+    if kind == "null":
+        return NullSink()
+    if path is None:
+        raise ValueError(f"telemetry kind {kind!r} requires a telemetry_path")
+    if kind == "jsonl":
+        return JsonlSink(path)
+    return ChromeTraceSink(path)

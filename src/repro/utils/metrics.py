@@ -64,7 +64,14 @@ def accuracy(y_true: np.ndarray, y_pred: np.ndarray) -> float:
 def binary_logloss(y_true: np.ndarray, y_prob: np.ndarray, eps: float = 1e-12) -> float:
     """Mean negative log-likelihood of binary labels under probabilities."""
     y_true = np.asarray(y_true, dtype=np.float64).ravel()
-    y_prob = np.clip(np.asarray(y_prob, dtype=np.float64).ravel(), eps, 1.0 - eps)
+    y_prob = np.asarray(y_prob, dtype=np.float64).ravel()
+    if y_true.shape != y_prob.shape:
+        raise ValueError(
+            f"shape mismatch: y_true {y_true.shape} vs y_prob {y_prob.shape}"
+        )
+    if y_true.size == 0:
+        raise ValueError("logloss of an empty array is undefined")
+    y_prob = np.clip(y_prob, eps, 1.0 - eps)
     return float(-np.mean(y_true * np.log(y_prob) + (1 - y_true) * np.log(1 - y_prob)))
 
 

@@ -135,6 +135,47 @@ def test_bench_transport_json_roundtrips(tmp_path):
     payload = json.loads(out.read_text())
     assert payload["meta"]["env_overhead"] == 27
     assert payload["clean"] and payload["faulted"]["fault_plan"]["events"] > 0
+    # The cross-process row reads its counters from run_two_party's
+    # link_stats return value, not a side channel.
+    assert payload["two_party"]["guest"]["data_sent"] >= payload["two_party"]["rounds"]
+
+
+def test_trace_gate_holds():
+    """Telemetry gate: traced counters reconcile exactly with the channel's
+    own ledgers, seeded runs trace identically, the packing fold is visible
+    in ``ct.encrypted``, and a clean traced link mirrors its LinkStats with
+    zero reliability events.  Counting-only — no wall clock is gated."""
+    results = run_bench.check_trace()
+    up, rep, pk = (
+        results["unpacked"], results["unpacked_repeat"], results["packed"]
+    )
+    assert up["totals"] == rep["totals"]
+    assert up["skeleton"] == rep["skeleton"]
+    assert pk["totals"]["ct.encrypted"] < up["totals"]["ct.encrypted"]
+    assert "ct.packed" in pk["totals"] and "ct.packed" not in up["totals"]
+    for row in (up, pk):
+        assert row["totals"]["bytes.sent"] == sum(row["bytes_by_sender"].values())
+        assert row["totals"]["frames.sent"] == row["n_messages"]
+    link = results["clean_link"]
+    assert link["totals"]["link.data_sent"] == 2 * link["rounds"]
+    assert all(
+        link["totals"].get(f"link.{c}", 0) == 0
+        for c in run_bench.bench_trace.LINK_RELIABILITY_EVENTS
+    )
+
+
+def test_bench_trace_json_roundtrips(tmp_path):
+    import bench_trace
+
+    out = tmp_path / "BENCH_trace.json"
+    rc = bench_trace.main(["--quick", "--out", str(out)])
+    assert rc == 0
+    payload = json.loads(out.read_text())
+    assert payload["meta"]["key_bits"] == 256
+    assert payload["unpacked"]["n_spans"] > 0
+    assert payload["unpacked"]["fold"]["rows"]
+    assert payload["packed"]["totals"]["ct.packed"] > 0
+    assert payload["clean_link"]["totals"]["link.data_sent"] > 0
 
 
 def test_bench_decrypt_json_roundtrips(tmp_path):

@@ -101,6 +101,22 @@ def test_chaos_smoke_drop_corrupt_reconnect_is_bit_identical():
     reference = _reference(*case)
     for role in ("guest", "host"):
         _assert_digests_match(results[role], reference)
+    # The recovery counters come back with the results now (no side
+    # channel): the injected faults must be visible in each endpoint's
+    # LinkStats, and the graceful shutdown must have exchanged FINs.
+    stats = results["link_stats"]
+    assert set(stats) == {"guest", "host"}
+    summed = {
+        key: stats["guest"][key] + stats["host"][key] for key in stats["guest"]
+    }
+    recovery = (
+        summed["retransmits"] + summed["naks_sent"] + summed["corrupt_dropped"]
+        + summed["duplicates_dropped"] + summed["timeouts"]
+    )
+    assert recovery > 0, summed
+    for role in ("guest", "host"):
+        assert stats[role]["fins"] >= 1
+        assert stats[role]["data_sent"] > 0
 
 
 def test_kill_mid_epoch_then_resume_finishes_identically(tmp_path):

@@ -25,6 +25,7 @@ def test_examples_exist():
         "privacy_attacks_demo",
         "multiparty_lr",
         "two_process_sockets",
+        "trace_quickstart",
     } <= names
 
 

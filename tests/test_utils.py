@@ -114,6 +114,25 @@ def test_format_table_rejects_ragged_rows():
         format_table(["a", "b"], [[1]])
 
 
+def test_format_table_integers_stay_exact():
+    # Counter columns (pow/ciphertext counts) must print as exact ints,
+    # never float-formatted.
+    out = format_table(["n"], [[123456]])
+    assert "123456" in out and "1.2" not in out
+
+
+def test_binary_logloss_validation():
+    with pytest.raises(ValueError):
+        binary_logloss(np.array([0.0, 1.0]), np.array([0.5]))
+    with pytest.raises(ValueError):
+        binary_logloss(np.array([]), np.array([]))
+
+
+def test_accuracy_perfect_and_zero():
+    assert accuracy([0, 1, 2], [0, 1, 2]) == 1.0
+    assert accuracy([0, 0, 0], [1, 1, 1]) == 0.0
+
+
 # ---------- timer ----------
 
 
@@ -133,6 +152,44 @@ def test_timer_misuse():
     t = Timer()
     with pytest.raises(RuntimeError):
         t.__exit__(None, None, None)
+
+
+def test_timer_nesting_accumulates_outermost_interval_once():
+    """Re-entrant use (the span API nests spans freely) counts the
+    outermost interval exactly once — inner exits must neither accumulate
+    nor reset the running start."""
+    t = Timer()
+    with t:
+        time.sleep(0.005)
+        with t:
+            time.sleep(0.005)
+        assert t.running  # inner exit left the outer interval open
+        assert t.elapsed == 0.0  # nothing accumulated yet
+        time.sleep(0.005)
+    assert not t.running
+    # One interval covering all three sleeps, not double-counted.
+    assert 0.015 <= t.elapsed < 0.5
+
+
+def test_timer_nested_exit_beyond_depth_raises():
+    t = Timer()
+    with t:
+        with t:
+            pass
+    with pytest.raises(RuntimeError):
+        t.__exit__(None, None, None)
+
+
+def test_timer_reset_clears_depth_and_elapsed():
+    t = Timer()
+    with t:
+        pass
+    assert t.elapsed > 0.0
+    t.reset()
+    assert t.elapsed == 0.0 and not t.running
+    with t:  # usable again after reset
+        pass
+    assert t.elapsed > 0.0
 
 
 # ---------- rng ----------
