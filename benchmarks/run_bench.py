@@ -26,7 +26,8 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent))
 
-import bench_decrypt  # noqa: E402  (path bootstrap above)
+import bench_analysis  # noqa: E402  (path bootstrap above)
+import bench_decrypt  # noqa: E402
 import bench_kernels  # noqa: E402
 import bench_packing  # noqa: E402
 import bench_trace  # noqa: E402
@@ -63,6 +64,13 @@ MIN_PACKED_DECRYPT_REDUCTION = 2.0
 # extra frames, and exactly ENV_OVERHEAD envelope bytes per codec frame
 # (acks piggyback on DATA).  The faulted row must still deliver every
 # frame, with the recovery traffic showing up in the counters.
+
+# Static-invariant gate is counting-only: the tree must lint clean under
+# repro.analysis (custody, determinism, telemetry, wire coverage,
+# transport taxonomy) *and* the checker must still detect a known-bad
+# probe for every rule — a blind linter reports a clean tree forever.
+ANALYSIS_RULES = ("BF001", "BF002", "BF003", "BF004", "BF005")
+MIN_ANALYSIS_FILES = 50
 
 
 def check(results: dict | None = None) -> dict:
@@ -350,6 +358,44 @@ def check_trace(results: dict | None = None) -> dict:
     return results
 
 
+def check_analysis(results: dict | None = None) -> dict:
+    """Assert the static-invariant sweep is clean *and* still detects.
+
+    Gates (all counting, no timing): every rule code registered, the
+    sweep covered a sane number of files, the live tree produced zero
+    findings, and each rule's known-bad probe was flagged with exactly
+    that rule's code.
+    """
+    if results is None:
+        results = bench_analysis.run(quick=True)
+    failures = []
+    registered = tuple(results["rules_registered"])
+    if registered != ANALYSIS_RULES:
+        failures.append(
+            f"rule registry {registered} != expected {ANALYSIS_RULES}"
+        )
+    if results["files_scanned"] < MIN_ANALYSIS_FILES:
+        failures.append(
+            f"sweep covered only {results['files_scanned']} files "
+            f"(< {MIN_ANALYSIS_FILES}) — analyzer lost the tree"
+        )
+    if not results["zero_findings"]:
+        failures.append(
+            f"{results['findings']} live finding(s):\n    "
+            + "\n    ".join(results["finding_lines"])
+        )
+    for code, row in results["detection"].items():
+        if not row["detected"]:
+            failures.append(
+                f"{code} went blind: probe produced {row['codes']}"
+            )
+    if failures:
+        raise AssertionError(
+            "static invariants do not hold:\n  " + "\n  ".join(failures)
+        )
+    return results
+
+
 def main() -> int:
     try:
         results = check()
@@ -357,6 +403,7 @@ def main() -> int:
         decrypt_results = check_decrypt()
         transport_results = check_transport()
         trace_results = check_trace()
+        analysis_results = check_analysis()
     except AssertionError as exc:
         print(f"FAIL: {exc}", file=sys.stderr)
         return 1
@@ -368,6 +415,7 @@ def main() -> int:
                 "decrypt": decrypt_results,
                 "transport": transport_results,
                 "trace": trace_results,
+                "analysis": analysis_results,
             },
             indent=2,
         )
@@ -389,6 +437,11 @@ def main() -> int:
     print(
         "OK: telemetry reconciles exactly (bytes/frames/link counters), is "
         "seeded-run deterministic, and shows the packing fold"
+    )
+    print(
+        "OK: static invariants hold (BF001-BF005 lint clean over "
+        f"{analysis_results['files_scanned']} files) and every rule still "
+        "detects its probe"
     )
     return 0
 

@@ -3,19 +3,32 @@
 The runtime environment has no network access and no ``wheel`` package, so
 pip's PEP-517 editable path (which builds a wheel) is unavailable.  This
 shim lets ``pip install -e . --no-build-isolation --no-use-pep517`` fall
-back to the classic ``setup.py develop`` flow.  All metadata lives in
-``pyproject.toml``.
+back to the classic ``setup.py develop`` flow, and is the single source of
+packaging metadata (there is deliberately no ``pyproject.toml``).
 
 The ``[fast]`` extra pulls in gmpy2, which the crypto substrate uses as an
 optional GMP-backed fast path for modular exponentiation and inversion
 (see :mod:`repro.crypto.math_utils`); without it the pure-python
 implementations are used automatically.
+
+The ``[lint]`` extra is intentionally empty: the ``blindfl-lint`` console
+script (:mod:`repro.analysis`) is pure stdlib ``ast``/``tokenize``, so
+installing the extra just documents intent — there is nothing to pull in.
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
 setup(
+    name="blindfl-repro",
+    packages=find_packages("src"),
+    package_dir={"": "src"},
+    entry_points={
+        "console_scripts": [
+            "blindfl-lint = repro.analysis.__main__:main",
+        ],
+    },
     extras_require={
         "fast": ["gmpy2>=2.1"],
+        "lint": [],
     },
 )

@@ -908,14 +908,17 @@ def run_two_party(
     results: dict[str, object] = {}
     link_stats: dict[str, dict] = {}
     failures: dict[str, str] = {}
+    # repro: nondeterministic-ok driver watchdog deadline — the parent
+    # process's kill-switch clock, outside the mirrored protocol state
     deadline = time.monotonic() + timeout
     grace_deadline: float | None = None
     dead: dict[str, int | None] = {}
     try:
         while len(results) + len(failures) < len(children):
+            # repro: nondeterministic-ok watchdog countdown (driver only)
             remaining = deadline - time.monotonic()
             if remaining <= 0.0:
-                raise TransportError(
+                raise FatalTransportError(
                     f"two-party run produced no result within {timeout}s — "
                     f"protocol deadlock; terminating both endpoints"
                 )
@@ -945,12 +948,14 @@ def run_two_party(
             }
             if dead:
                 if grace_deadline is None:
+                    # repro: nondeterministic-ok child-death grace timer (driver only)
                     grace_deadline = time.monotonic() + 2.0
+                # repro: nondeterministic-ok child-death grace timer (driver only)
                 elif time.monotonic() > grace_deadline:
                     detail = ", ".join(
                         f"{role} (exit code {code})" for role, code in dead.items()
                     )
-                    raise TransportError(
+                    raise FatalTransportError(
                         f"endpoint died before reporting a result: {detail}"
                     )
     finally:
@@ -963,6 +968,6 @@ def run_two_party(
         detail = "\n\n".join(
             f"--- {role} endpoint failed ---\n{tb}" for role, tb in failures.items()
         )
-        raise TransportError(f"two-party run failed:\n{detail}")
+        raise FatalTransportError(f"two-party run failed:\n{detail}")
     results["link_stats"] = link_stats
     return results

@@ -78,6 +78,9 @@ class PaillierPublicKey:
         # detects overflow (see EncodedNumber.decode).
         self.max_int = n // 3 - 1
         self.key_bits = n.bit_length()
+        # repro: nondeterministic-ok fresh blinding entropy for keys built
+        # without an explicit rng (e.g. decoded outside a seeded key ring);
+        # every deterministic path in the repo passes a seeded rng through.
         self._rng = rng or random.Random()
         # Precomputed obfuscation blinders r^n mod n^2 (FIFO so a seeded rng
         # yields the same ciphertext stream whether or not the pool is used).
@@ -383,6 +386,8 @@ def generate_paillier_keypair(
     """
     if key_bits < 64:
         raise ValueError("key_bits below 64 leaves no room for fixed-point tensors")
+    # repro: nondeterministic-ok seed=None is the documented production
+    # contract: key material must come from OS entropy; tests pass a seed.
     rng = random.Random(seed) if seed is not None else random.SystemRandom()
     half = key_bits // 2
     while True:

@@ -1,0 +1,19 @@
+# analysis-fixture: path=src/repro/crypto/parallel.py expect=
+"""Must-pass: the one blessed custody flow — the private decrypt pool's
+``initargs`` inside ``crypto/parallel.py``'s ``_ensure_private_pool``,
+an OS pipe from the key owner to its own children."""
+import multiprocessing
+
+
+def _init_private_worker(p, q, hp, hq, p_inverse):
+    pass
+
+
+class ParallelContext:
+    def _ensure_private_pool(self, private_key):
+        ctx = multiprocessing.get_context("fork")
+        return ctx.Pool(
+            2,
+            initializer=_init_private_worker,
+            initargs=private_key.crt_params,
+        )

@@ -1,0 +1,30 @@
+# analysis-fixture: path=src/repro/crypto/fixture.py expect=BF002,BF002,BF002,BF002,BF002,BF002
+"""Must-flag: global-state, unseeded, and OS-entropy RNGs plus a
+wall-clock read in the protocol core."""
+import random
+import time
+
+import numpy as np
+
+
+def draw():
+    return random.random()  # global-state generator
+
+
+def shuffle_batch(order):
+    rng = random.Random()  # unseeded
+    rng.shuffle(order)
+    return order
+
+
+def production_entropy():
+    return random.SystemRandom()  # OS entropy, no pragma
+
+
+def init_weights(shape):
+    gen = np.random.default_rng()  # unseeded
+    return gen.normal(size=shape) + np.random.rand(*shape)  # and global-state
+
+
+def backoff(deadline):
+    return time.monotonic() > deadline  # wall clock in crypto/

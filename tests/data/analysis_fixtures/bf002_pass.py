@@ -1,0 +1,29 @@
+# analysis-fixture: path=src/repro/crypto/fixture.py expect=
+"""Must-pass: explicit seeded generators, generator *methods*, a pragma'd
+entropy site, and time.sleep (delay, not decision)."""
+import random
+import time
+
+import numpy as np
+
+from repro.utils.rng import new_rng
+
+
+def draw(seed):
+    rng = random.Random(seed)
+    return rng.random()  # method on a seeded instance, not the module
+
+
+def init_weights(shape, seed):
+    gen = np.random.default_rng(seed)
+    helper = new_rng(seed + 1)
+    return gen.normal(size=shape), helper
+
+
+def production_keygen(seed):
+    # repro: nondeterministic-ok production entropy by contract
+    return random.Random(seed) if seed is not None else random.SystemRandom()
+
+
+def polite_wait():
+    time.sleep(0.01)  # sleeping is allowed; deciding on the clock is not

@@ -1,0 +1,22 @@
+# analysis-fixture: path=src/repro/crypto/fixture.py expect=BF003,BF003
+"""Must-flag: a second tracer consult in one function, and a consult
+inside a loop body."""
+from repro.obs.tracer import get_tracer
+
+
+def double_consult(values):
+    tracer = get_tracer()
+    with tracer.span("encrypt"):
+        out = [v * 2 for v in values]
+    tracer2 = get_tracer()  # second consult — hoist to the first
+    tracer2.count("encrypt.ops", len(values))
+    return out
+
+
+def consult_in_loop(batches):
+    out = []
+    for batch in batches:
+        tracer = get_tracer()  # per-iteration registry hit
+        with tracer.span("batch"):
+            out.append(sum(batch))
+    return out

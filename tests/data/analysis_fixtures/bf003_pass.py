@@ -1,0 +1,29 @@
+# analysis-fixture: path=src/repro/crypto/fixture.py expect=
+"""Must-pass: the blessed pattern — consult the tracer registry once at
+function entry, reuse the handle everywhere, including inside loops."""
+from repro.obs.tracer import get_tracer
+
+
+def hoisted(batches):
+    tracer = get_tracer()
+    out = []
+    for batch in batches:
+        with tracer.span("batch"):
+            out.append(sum(batch))
+    tracer.count("batches", len(batches))
+    return out
+
+
+def single(values):
+    tracer = get_tracer()
+    with tracer.span("encrypt"):
+        return [v * 2 for v in values]
+
+
+def helper_scope(values):
+    # A nested function body is its own scope with its own single consult.
+    def inner():
+        tracer = get_tracer()
+        return tracer
+    tracer = get_tracer()
+    return tracer, inner

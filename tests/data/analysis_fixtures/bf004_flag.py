@@ -1,0 +1,36 @@
+# analysis-fixture: path=src/repro/comm/codec.py expect=BF004,BF004,BF004,BF004
+"""Must-flag codec: T_BYTES has no decoder, T_GHOST has no encoder and no
+_TYPE_NAMES entry, and one raise site uses a bare ValueError."""
+import struct
+
+
+class WireFormatError(ValueError):
+    pass
+
+
+T_INT = 0x01
+T_BYTES = 0x02
+T_GHOST = 0x03
+
+
+_TYPE_NAMES = {
+    T_INT: "int",
+    T_BYTES: "bytes",
+}
+
+
+def encode_payload(obj):
+    if isinstance(obj, int):
+        return bytes([T_INT]) + struct.pack(">q", obj)
+    if isinstance(obj, bytes):
+        return bytes([T_BYTES]) + obj
+    raise ValueError("unsupported")  # must be a WireFormatError subclass
+
+
+def decode_payload(buf):
+    tag = buf[0]
+    if tag == T_INT:
+        return struct.unpack(">q", buf[1:9])[0]
+    if tag == T_GHOST:
+        return None
+    raise WireFormatError("bad tag")

@@ -1,0 +1,17 @@
+# analysis-fixture: path=src/repro/comm/message.py expect=BF004,BF004
+"""Must-flag message side: ACK has no wire code, and the table maps a
+name that is not a MessageKind member."""
+import enum
+
+
+class MessageKind(enum.Enum):
+    TENSOR = "tensor"
+    CONTROL = "control"
+    ACK = "ack"
+
+
+_WIRE_CODES = {
+    MessageKind.TENSOR: 1,
+    MessageKind.CONTROL: 2,
+    MessageKind.PHANTOM: 9,
+}

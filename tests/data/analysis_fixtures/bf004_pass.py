@@ -1,0 +1,43 @@
+# analysis-fixture: path=src/repro/comm/codec.py expect=
+"""Must-pass codec: every wire type appears in an encoder, a decoder, and
+the _TYPE_NAMES table, and raise sites stay inside the wire taxonomy."""
+import struct
+
+
+class WireFormatError(ValueError):
+    pass
+
+
+class TruncatedFrame(WireFormatError):
+    pass
+
+
+T_INT = 0x01
+T_BYTES = 0x02
+
+
+_TYPE_NAMES = {
+    T_INT: "int",
+    T_BYTES: "bytes",
+}
+
+
+def encode_payload(obj):
+    if isinstance(obj, bool):
+        raise WireFormatError("bool is not a wire type")
+    if isinstance(obj, int):
+        return bytes([T_INT]) + struct.pack(">q", obj)
+    if isinstance(obj, bytes):
+        return bytes([T_BYTES]) + obj
+    raise WireFormatError("unsupported")
+
+
+def decode_payload(buf):
+    if len(buf) < 1:
+        raise TruncatedFrame("empty frame")
+    tag = buf[0]
+    if tag == T_INT:
+        return struct.unpack(">q", buf[1:9])[0]
+    if tag == T_BYTES:
+        return bytes(buf[1:])
+    raise WireFormatError("bad tag %r (%s)" % (tag, _TYPE_NAMES.get(tag)))

@@ -1,0 +1,21 @@
+# analysis-fixture: path=src/repro/comm/transport.py expect=BF005,BF005,BF005
+"""Must-flag transport: raise sites outside the Retryable/Fatal split."""
+
+
+class TransportError(Exception):
+    pass
+
+
+def recv_frame(sock):
+    data = sock.recv(4)
+    if not data:
+        raise TransportError("peer closed")  # ambiguous base class
+    if len(data) < 4:
+        raise RuntimeError("short read")  # not transport taxonomy at all
+    return data
+
+
+def connect(addr, attempts):
+    if attempts <= 0:
+        raise Exception("out of attempts")  # bare Exception
+    return addr

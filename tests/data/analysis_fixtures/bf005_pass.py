@@ -1,0 +1,44 @@
+# analysis-fixture: path=src/repro/comm/transport.py expect=
+"""Must-pass transport: every raise commits to retryable or fatal (or a
+local subclass of one), bare re-raises and non-transport builtins stay
+legal."""
+
+
+class TransportError(Exception):
+    pass
+
+
+class RetryableTransportError(TransportError):
+    pass
+
+
+class FatalTransportError(TransportError):
+    pass
+
+
+class HandshakeRejected(FatalTransportError):
+    pass
+
+
+def recv_frame(sock):
+    data = sock.recv(4)
+    if not data:
+        raise RetryableTransportError("peer closed mid-stream")
+    if len(data) < 4:
+        raise RetryableTransportError("short read")
+    return data
+
+
+def handshake(hello, expected):
+    if hello is None:
+        raise ValueError("hello frame required")  # caller bug, not transport
+    if hello != expected:
+        raise HandshakeRejected("protocol mismatch")
+    return True
+
+
+def forward(exc):
+    try:
+        raise exc
+    except RetryableTransportError:
+        raise  # bare re-raise preserves the taxonomy

@@ -178,6 +178,31 @@ def test_bench_trace_json_roundtrips(tmp_path):
     assert payload["clean_link"]["totals"]["link.data_sent"] > 0
 
 
+def test_analysis_gate_holds():
+    """Static-invariant gate: the tree lints clean under repro.analysis and
+    every rule still flags its known-bad probe.  Counting-only — the sweep
+    is stdlib ast over the source tree, no timing is gated."""
+    results = run_bench.check_analysis()
+    assert tuple(results["rules_registered"]) == run_bench.ANALYSIS_RULES
+    assert results["files_scanned"] >= run_bench.MIN_ANALYSIS_FILES
+    assert results["zero_findings"] and results["findings"] == 0
+    assert all(row["detected"] for row in results["detection"].values())
+
+
+def test_bench_analysis_json_roundtrips(tmp_path):
+    import bench_analysis
+
+    out = tmp_path / "BENCH_analysis.json"
+    rc = bench_analysis.main(["--quick", "--out", str(out)])
+    assert rc == 0
+    payload = json.loads(out.read_text())
+    assert payload["zero_findings"] is True
+    assert payload["findings_by_rule"] == {
+        code: 0 for code in run_bench.ANALYSIS_RULES
+    }
+    assert payload["wall_s"] > 0
+
+
 def test_bench_decrypt_json_roundtrips(tmp_path):
     import bench_decrypt
 

@@ -265,6 +265,12 @@ def test_embed_lossless_property(vocab):
 
 # ---------------------------------------------------------------------------
 # Key custody: private-key material must be unable to leave its process.
+#
+# These runtime refusals are complemented statically by rule BF001 in
+# repro.analysis (gated in tests/test_analysis.py): the linter flags any
+# *source-level* flow of PaillierPrivateKey / crt_params / (p, q) into
+# Channel.send, codec encode_*, pickle, checkpoint writers, or
+# multiprocessing args — including paths no test executes.
 
 
 def test_codec_refuses_private_key():
