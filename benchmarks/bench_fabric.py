@@ -1,0 +1,203 @@
+"""N-party fabric benchmark: blocking vs pipelined endpoint grids.
+
+Runs one 3-endpoint federation (two Party A processes + the key owner)
+twice — async sends off and on — and emits the evidence behind the
+fabric's two claims, gated by ``run_bench.check_fabric``:
+
+* **determinism** — both runs' losses are float-exact against the
+  all-local in-memory reference and the pooled per-endpoint weight
+  pieces are array-equal: pipelining reorders wall clock, never frames;
+* **clean links** — every per-peer ledger counts zero recovery traffic
+  (loopback, fault-free), envelope bytes are exactly ``ENV_OVERHEAD``
+  per DATA frame, and the grid is a star: Party A endpoints only ever
+  link to the key owner.
+
+Wall clock and the cross-role batch-overlap seconds (from the merged
+per-endpoint traces, see :mod:`repro.obs.collect`) are informational —
+the 1-CPU CI box cannot show a real pipelining win, so nothing times is
+gated.
+
+Emits ``BENCH_fabric.json`` at the repo root::
+
+    PYTHONPATH=src python benchmarks/bench_fabric.py
+    PYTHONPATH=src python benchmarks/bench_fabric.py --quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.comm.fabric import run_federation
+from repro.comm.party import VFLConfig, VFLContext
+from repro.comm.transport import ENV_OVERHEAD
+from repro.core.multiparty import MultiPartyLR
+from repro.obs import JsonlSink, Tracer, use_tracer
+from repro.obs import span as obs_span
+from repro.obs.collect import cross_role_overlap, merge_traces, read_jsonl_trace
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+FABRIC_TIMEOUT = 90.0
+GRID = {"ep_a1": ("A1",), "ep_a2": ("A2",), "ep_b": ("B",)}
+IN_DIMS = {"A1": 4, "A2": 3}
+IN_B = 3
+N_ROWS = 16
+LR = 0.1
+
+
+def _data():
+    rng = np.random.default_rng(1234)
+    x = {
+        "A1": rng.normal(size=(N_ROWS, IN_DIMS["A1"])),
+        "A2": rng.normal(size=(N_ROWS, IN_DIMS["A2"])),
+        "B": rng.normal(size=(N_ROWS, IN_B)),
+    }
+    y = (rng.random(N_ROWS) < 0.5).astype(np.float64)
+    return x, y
+
+
+def _build(channel=None):
+    local = getattr(channel, "local_parties", None)
+    ctx = VFLContext(
+        VFLConfig(key_bits=128),
+        seed=31,
+        n_a_parties=2,
+        channel=channel,
+        local_parties=local,
+    )
+    return ctx, MultiPartyLR(ctx, dict(IN_DIMS), IN_B)
+
+
+def fabric_program(channel, steps, trace_dir):
+    """Per-endpoint side of the benchmark run (module scope: picklable)."""
+    ctx, model = _build(channel)
+    x_full, y = _data()
+    x = {k: v for k, v in x_full.items() if ctx.is_local(k)}
+    labels = y if ctx.is_local("B") else None
+    tracer = None
+    if trace_dir is not None:
+        tracer = Tracer(
+            sink=JsonlSink(os.path.join(trace_dir, f"{channel.role}.jsonl"))
+        )
+    losses = []
+    with use_tracer(tracer):
+        for k in range(steps):
+            with obs_span("batch", batch=k):
+                losses.append(model.train_step(x, labels, lr=LR))
+    return {
+        "losses": losses,
+        "pieces": model.source.local_weight_pieces(),
+    }
+
+
+def _reference(steps: int):
+    ctx, model = _build()
+    x, y = _data()
+    losses = [model.train_step(x, y, lr=LR) for _ in range(steps)]
+    return losses, model.source.local_weight_pieces()
+
+
+def _fabric_run(steps: int, pipeline: bool, trace_dir: str | None) -> dict:
+    start = time.perf_counter()
+    out = run_federation(
+        fabric_program,
+        (steps, trace_dir),
+        roles=GRID,
+        timeout=FABRIC_TIMEOUT,
+        pipeline=pipeline,
+    )
+    wall = time.perf_counter() - start
+    results = out["results"]
+    pooled: dict[str, np.ndarray] = {}
+    for role in GRID:
+        pooled.update(results[role]["pieces"])
+    return {
+        "pipeline": pipeline,
+        "wall_s": wall,
+        "losses": results["ep_b"]["losses"],
+        "pooled_pieces": pooled,
+        "link_stats": out["link_stats"],
+    }
+
+
+def run(quick: bool = False) -> dict:
+    steps = 3 if quick else 6
+    ref_losses, ref_pieces = _reference(steps)
+
+    blocking = _fabric_run(steps, pipeline=False, trace_dir=None)
+    trace_dir = tempfile.mkdtemp(prefix="bench_fabric_")
+    pipelined = _fabric_run(steps, pipeline=True, trace_dir=trace_dir)
+    traces = {
+        role: read_jsonl_trace(os.path.join(trace_dir, f"{role}.jsonl"))
+        for role in GRID
+    }
+    merged = merge_traces(traces)
+    overlap_s = cross_role_overlap(merged, phase="batch")
+
+    def summarise(row: dict) -> dict:
+        pooled = row.pop("pooled_pieces")
+        return {
+            **row,
+            "losses_match_memory": row["losses"] == ref_losses,
+            "pieces_match_memory": set(pooled) == set(ref_pieces)
+            and all(
+                np.array_equal(pooled[name], ref_pieces[name])
+                for name in ref_pieces
+            ),
+        }
+
+    return {
+        "meta": {
+            "quick": quick,
+            "steps": steps,
+            "grid": {role: list(parties) for role, parties in GRID.items()},
+            "env_overhead": ENV_OVERHEAD,
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "cpu_count": os.cpu_count(),
+        },
+        "memory_losses": ref_losses,
+        "blocking": summarise(blocking),
+        "pipelined": summarise(pipelined),
+        "overlap_s": overlap_s,
+        "n_spans_merged": len(merged),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="small CI-sized run")
+    parser.add_argument(
+        "--out", type=Path, default=REPO_ROOT / "BENCH_fabric.json"
+    )
+    args = parser.parse_args(argv)
+    results = run(quick=args.quick)
+    args.out.write_text(json.dumps(results, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    for mode in ("blocking", "pipelined"):
+        row = results[mode]
+        b_stats = row["link_stats"]["ep_b"]
+        frames = sum(s["data_sent"] + s["data_received"] for s in b_stats.values())
+        print(
+            f"{mode}: {row['wall_s']:.2f}s for {results['meta']['steps']} steps, "
+            f"losses_match={row['losses_match_memory']}, "
+            f"pieces_match={row['pieces_match_memory']}, "
+            f"{frames} frames through the key owner"
+        )
+    print(
+        f"cross-role batch overlap (pipelined, informational): "
+        f"{results['overlap_s'] * 1e3:.1f}ms over {results['n_spans_merged']} spans"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

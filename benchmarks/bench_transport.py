@@ -147,7 +147,7 @@ def _two_party(n_rounds: int, payload_elems: int) -> dict:
         "rounds": n_rounds,
         "payload_elems": payload_elems,
         "wall_s": elapsed,
-        "bytes_by_sender": results["guest"]["bytes_by_sender"],
+        "bytes_by_sender": results["results"]["guest"]["bytes_by_sender"],
         "guest": stats["guest"],
         "host": stats["host"],
     }

@@ -28,6 +28,7 @@ sys.path.insert(0, str(Path(__file__).resolve().parent))
 
 import bench_analysis  # noqa: E402  (path bootstrap above)
 import bench_decrypt  # noqa: E402
+import bench_fabric  # noqa: E402
 import bench_kernels  # noqa: E402
 import bench_packing  # noqa: E402
 import bench_trace  # noqa: E402
@@ -71,6 +72,17 @@ MIN_PACKED_DECRYPT_REDUCTION = 2.0
 # probe for every rule — a blind linter reports a clean tree forever.
 ANALYSIS_RULES = ("BF001", "BF002", "BF003", "BF004", "BF005")
 MIN_ANALYSIS_FILES = 50
+
+# Fabric gate is counting-only: both the blocking and the pipelined
+# 3-endpoint runs must be bit-identical to the in-memory reference
+# (pipelining reorders wall clock, never frames), every per-peer link
+# ledger must be clean with exact envelope accounting, and the grid must
+# be a star — Party A endpoints never link to each other.  Wall clock
+# and cross-role overlap stay informational on the 1-CPU CI box.
+FABRIC_CLEAN_ZERO = (
+    "retransmits", "naks_sent", "naks_received", "duplicates_dropped",
+    "corrupt_dropped", "timeouts", "reconnects", "resumes",
+)
 
 
 def check(results: dict | None = None) -> dict:
@@ -396,12 +408,90 @@ def check_analysis(results: dict | None = None) -> dict:
     return results
 
 
+def check_fabric(results: dict | None = None) -> dict:
+    """Assert the N-party fabric is deterministic with clean links.
+
+    Gates (all counting, no timing): the blocking and pipelined runs'
+    losses are float-exact against the all-local in-memory reference and
+    their pooled weight pieces array-equal; every per-peer link ledger
+    counts zero recovery traffic with exactly ``ENV_OVERHEAD`` envelope
+    bytes per DATA frame and zero extra frames; and the link grid is a
+    star around the key owner (A endpoints never dial each other).
+    """
+    if results is None:
+        results = bench_fabric.run(quick=True)
+    failures = []
+    env = results["meta"]["env_overhead"]
+    for mode in ("blocking", "pipelined"):
+        row = results[mode]
+        if not row["losses_match_memory"]:
+            failures.append(
+                f"{mode}: losses {row['losses']} != memory reference "
+                f"{results['memory_losses']} — the fabric is not bit-identical"
+            )
+        if not row["pieces_match_memory"]:
+            failures.append(
+                f"{mode}: pooled weight pieces diverged from the all-local "
+                f"model — a mask or blinder failed to cancel"
+            )
+        stats = row["link_stats"]
+        for role, per_peer in stats.items():
+            expected_peers = (
+                {"ep_a1", "ep_a2"} if role == "ep_b" else {"ep_b"}
+            )
+            if set(per_peer) != expected_peers:
+                failures.append(
+                    f"{mode} {role}: links to {sorted(per_peer)} != "
+                    f"{sorted(expected_peers)} — the grid is not a star"
+                )
+            for peer, ledger in per_peer.items():
+                label = f"{mode} {role}<->{peer}"
+                for counter in FABRIC_CLEAN_ZERO:
+                    if ledger[counter] != 0:
+                        failures.append(
+                            f"{label}: {counter}={ledger[counter]} != 0 on a "
+                            "clean loopback run"
+                        )
+                extra = (
+                    ledger["retransmits"] + ledger["naks_sent"]
+                    + ledger["resumes"]
+                )
+                if extra != 0:
+                    failures.append(f"{label}: {extra} extra frames != 0")
+                # One envelope per DATA frame plus the graceful FIN — a
+                # clean link sends nothing else.
+                frames = ledger["data_sent"] + ledger["fins"]
+                if ledger["envelope_bytes"] != frames * env:
+                    failures.append(
+                        f"{label}: envelope_bytes {ledger['envelope_bytes']} "
+                        f"!= {frames * env} ({env}B x {frames} frames incl. FIN)"
+                    )
+                if ledger["fins"] < 1:
+                    failures.append(f"{label}: no FIN in a graceful shutdown")
+                if ledger["data_sent"] == 0:
+                    failures.append(f"{label}: no DATA frames crossed the link")
+    if (
+        results["blocking"]["losses"] != results["pipelined"]["losses"]
+    ):
+        failures.append(
+            "pipelined losses diverged from blocking losses — async sends "
+            "reordered protocol frames"
+        )
+    if failures:
+        raise AssertionError(
+            "the fabric determinism/clean-link contract does not hold:\n  "
+            + "\n  ".join(failures)
+        )
+    return results
+
+
 def main() -> int:
     try:
         results = check()
         packing_results = check_packing()
         decrypt_results = check_decrypt()
         transport_results = check_transport()
+        fabric_results = check_fabric()
         trace_results = check_trace()
         analysis_results = check_analysis()
     except AssertionError as exc:
@@ -414,6 +504,7 @@ def main() -> int:
                 "packing": packing_results,
                 "decrypt": decrypt_results,
                 "transport": transport_results,
+                "fabric": fabric_results,
                 "trace": trace_results,
                 "analysis": analysis_results,
             },
@@ -433,6 +524,10 @@ def main() -> int:
     print(
         "OK: reliable link is free at fault rate 0 (zero retransmits, zero "
         "extra frames) and lossless under the seeded fault plan"
+    )
+    print(
+        "OK: 3-endpoint fabric is bit-identical to the in-memory reference "
+        "(blocking and pipelined) over a clean star grid"
     )
     print(
         "OK: telemetry reconciles exactly (bytes/frames/link counters), is "

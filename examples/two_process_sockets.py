@@ -50,7 +50,7 @@ def train_on(channel):
 def main() -> None:
     print("spawning guest (Party A) and host (Party B) processes ...")
     results = run_two_party(train_on, timeout=600.0)
-    guest, host = results["guest"], results["host"]
+    guest, host = results["results"]["guest"], results["results"]["host"]
     print(f"guest PID view: AUC {guest['auc']:.3f}, "
           f"{guest['messages']} messages, {guest['wire_bytes'] / 2**20:.1f} MiB on the wire")
     print(f"host  PID view: AUC {host['auc']:.3f}, "

@@ -9,7 +9,8 @@ a bare ``Exception``/``RuntimeError`` — forces every caller back to
 string-matching, and a recovery loop that guesses wrong either hangs on
 an unfixable failure or papers over a protocol bug.
 
-Statically checked, on ``comm/transport.py``: every ``raise`` with an
+Statically checked, on ``comm/transport.py`` and ``comm/fabric.py`` (the
+N-party endpoint grid raises the same taxonomy): every ``raise`` with an
 explicit exception must not use ``Exception``, ``BaseException``,
 ``RuntimeError``, or the unsplit ``TransportError`` — pick a side via
 ``RetryableTransportError`` / ``FatalTransportError`` or one of their
@@ -32,7 +33,9 @@ from repro.analysis.engine import (
     register,
 )
 
-TRANSPORT_SUBPATH = "comm/transport.py"
+# Every module that raises into the transport taxonomy: the two-party
+# link layer and the N-party fabric built on top of it.
+TRANSPORT_SUBPATHS = frozenset({"comm/transport.py", "comm/fabric.py"})
 
 # Never acceptable at a transport raise site: the catch-all builtins and
 # the unsplit taxonomy base.
@@ -70,7 +73,7 @@ class TransportTaxonomyRule(Rule):
     )
 
     def check(self, module: ModuleInfo) -> list[Finding]:
-        if module.subpath != TRANSPORT_SUBPATH:
+        if module.subpath not in TRANSPORT_SUBPATHS:
             return []
         findings: list[Finding] = []
         split = _split_subclasses(module.tree)

@@ -6,6 +6,7 @@ from repro.comm.channel import (
     make_channel,
     payload_nbytes,
 )
+from repro.comm.fabric import FabricChannel, FabricTopology, run_federation
 from repro.comm.message import Message, MessageKind
 from repro.comm.party import Party, VFLConfig, VFLContext
 
@@ -14,6 +15,9 @@ __all__ = [
     "SerializingChannel",
     "make_channel",
     "payload_nbytes",
+    "FabricChannel",
+    "FabricTopology",
+    "run_federation",
     "Message",
     "MessageKind",
     "Party",

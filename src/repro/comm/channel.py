@@ -84,8 +84,20 @@ def payload_nbytes(payload: object, cipher_bytes: int | None = None) -> int:
         return _ct_bytes(payload.public_key)
     if isinstance(payload, np.ndarray):
         return payload.nbytes
+    if isinstance(payload, np.generic):
+        # Numpy *scalars* (np.int64 off an ndarray, np.float32, np.bool_)
+        # are not Python int/float subclasses across the board, so they
+        # must be priced before the builtin branches — at their actual
+        # storage width, which numpy exposes directly.
+        return payload.nbytes
     if isinstance(payload, (list, tuple)):
         return sum(payload_nbytes(p, cipher_bytes) for p in payload)
+    if isinstance(payload, dict):
+        # The codec carries containers; a dict costs what its items cost.
+        return sum(
+            payload_nbytes(k, cipher_bytes) + payload_nbytes(v, cipher_bytes)
+            for k, v in payload.items()
+        )
     if isinstance(payload, bool):  # before int: bool is an int subclass
         return 1
     if isinstance(payload, (int, float)):
@@ -117,7 +129,11 @@ class Channel:
     def __init__(self, record_transcript: bool = True):
         self.record_transcript = record_transcript
         self.transcript: list[Message] = []
-        self.bytes_by_sender: dict[str, int] = defaultdict(int)
+        # Plain dict on purpose: the ledger is read by reconciliation
+        # probes (telemetry byte-equality, bench gates), and a defaultdict
+        # would *mutate on read* — probing a never-sent party must not
+        # plant a zero entry that masks the sender being missing.
+        self.bytes_by_sender: dict[str, int] = {}
         self.messages_by_kind: dict[MessageKind, int] = defaultdict(int)
         self._queues: dict[str, deque[Message]] = defaultdict(deque)
         self._seq = 0
@@ -143,8 +159,7 @@ class Channel:
             seq=self._seq,
         )
         msg = self._transcode(msg)
-        self.bytes_by_sender[sender] += msg.nbytes
-        self.messages_by_kind[kind] += 1
+        self._account(msg)
         # The traced byte counters mirror bytes_by_sender exactly (same
         # nbytes, same send site), attributed to the span in flight.
         trc = _obs.get_tracer()
@@ -155,6 +170,18 @@ class Channel:
         if self.record_transcript:
             self.transcript.append(msg)
         self._deliver(msg)
+
+    def _account(self, msg: Message) -> None:
+        """Hook: record a message in the byte/kind ledgers.
+
+        Kept separate from :meth:`send` so tiers whose frames arrive on
+        background threads (the N-party fabric) can lock the same ledger
+        for inbound traffic.
+        """
+        self.bytes_by_sender[msg.sender] = (
+            self.bytes_by_sender.get(msg.sender, 0) + msg.nbytes
+        )
+        self.messages_by_kind[msg.kind] += 1
 
     def _transcode(self, msg: Message) -> Message:
         """Hook: transform a message before accounting and delivery.

@@ -1,0 +1,774 @@
+"""N-party federation fabric: one OS process per endpoint, no mirroring.
+
+The mirrored two-party tier (:mod:`repro.comm.transport`) runs the *same*
+seeded program in both processes and drives remote parties from decoded
+wire bytes.  That trick does not scale past two endpoints: with M Party
+A's plus the key owner, every process would replay every other party's
+crypto.  The fabric is the real runtime the paper's Appendix C deployment
+implies — an endpoint **grid**:
+
+* each endpoint hosts one or more parties (its *placement*) and executes
+  **only their side** of the protocol — remote statements never run here
+  (see :mod:`repro.core.multiparty` for the actor-guarded layers);
+* endpoints are wired by lazily-established duplex
+  :class:`~repro.comm.transport.ReliableLink` s: the first send toward a
+  peer dials it, pairs that never exchange traffic never connect;
+* crossing dials (both ends of a pair dialing at once) are resolved by
+  the lower-named role of the pair, whose accept/dial decision is taken
+  under one lock and is authoritative — the higher-named role's refused
+  dial simply waits for the authoritative dial to land;
+* each endpoint holds a *per-endpoint key store*: all seeded public keys
+  (so ciphertexts decode against the shared key objects), but only its
+  own parties' private keys — see
+  :class:`~repro.comm.party.VFLContext` ``local_parties``;
+* incoming frames are decoded on per-link receiver threads into a
+  tag-addressed mailbox, because arrival order *between* senders is
+  scheduling-dependent; per-link FIFO (and therefore per-pair protocol
+  order) is still exact.
+
+Pipelined transfers
+-------------------
+With ``pipeline`` on, outbound frames are handed to a bounded send queue
+drained by one sender thread: the masked tensor of batch ``k`` is on the
+wire while the protocol encrypts/packs batch ``k+1`` — the queue depth of
+two is exactly a double buffer for HE2SS mask frames (one in flight, one
+being prepared).  Frame *order and content* are untouched, so seeded
+trajectories stay bit-identical with the knob on or off; the default is
+off so the blocking tier remains the reference behaviour.
+
+Determinism
+-----------
+Losses and weights of a fabric run are bit-identical to the in-process
+tiers because each party's RNG draw order is preserved on its home
+endpoint, obfuscation blinders never survive decryption, and HE2SS masks
+cancel exactly in the reassembled weight pieces.  What *is*
+scheduling-dependent is cross-sender arrival order (absorbed by the
+mailbox) and blinding-stream positions (value-free by construction).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue as queue_mod
+import socket
+import threading
+import time
+import traceback
+from collections import deque
+
+from repro.comm import codec
+from repro.comm.channel import CodecChannel
+from repro.comm.message import Message
+from repro.comm.transport import (
+    FatalTransportError,
+    ReliableLink,
+    RetryableTransportError,
+    RetryPolicy,
+    TransportDisconnected,
+    TransportError,
+    TransportTimeout,
+    _await_results,
+    _endpoint_main,
+    read_frame,
+)
+
+__all__ = [
+    "FabricTopology",
+    "FabricChannel",
+    "run_federation",
+]
+
+# Receiver threads poll their socket in short slices so close requests are
+# observed promptly; this is a scheduling knob, not a protocol timeout.
+_POLL_S = 0.25
+
+
+class FabricTopology:
+    """The placement map of a federation: which role hosts which parties.
+
+    Roles are endpoint names (one OS process each); parties are protocol
+    actors.  Every party lives at exactly one role — the fabric refuses
+    overlapping claims because a party with two homes is the mirrored
+    model this tier exists to replace.
+    """
+
+    def __init__(self, roles: dict[str, tuple[str, ...] | list[str]]):
+        if len(roles) < 2:
+            raise ValueError("a federation needs at least two endpoints")
+        self.roles: dict[str, tuple[str, ...]] = {}
+        home: dict[str, str] = {}
+        for role, parties in roles.items():
+            parties = tuple(parties)
+            if not parties:
+                raise ValueError(f"role {role!r} hosts no parties")
+            self.roles[role] = parties
+            for party in parties:
+                if party in home:
+                    raise ValueError(
+                        f"party {party!r} is claimed by both role "
+                        f"{home[party]!r} and role {role!r}"
+                    )
+                home[party] = role
+        self._home = home
+
+    @property
+    def parties(self) -> tuple[str, ...]:
+        return tuple(self._home)
+
+    def home_of(self, party: str) -> str:
+        """The role hosting ``party``."""
+        try:
+            return self._home[party]
+        except KeyError:
+            raise LookupError(
+                f"party {party!r} is not placed anywhere in the topology "
+                f"{self.roles}"
+            ) from None
+
+
+class _PipelinedSender:
+    """Bounded async outbound path — the double buffer behind ``pipeline``.
+
+    One daemon thread drains a depth-bounded queue of encoded frames in
+    submission order, so exactly one frame can be on the wire while the
+    protocol prepares the next (HE2SS mask encryption, packing).  A full
+    queue back-pressures ``submit`` — the lookahead never exceeds the
+    buffer depth, and frame order is globally preserved.
+    """
+
+    def __init__(self, channel: FabricChannel, depth: int = 2):
+        self._channel = channel
+        self._queue: queue_mod.Queue = queue_mod.Queue(maxsize=depth)
+        self._error: str | None = None
+        self._thread = threading.Thread(
+            target=self._run, name=f"fabric-tx-{channel.role}", daemon=True
+        )
+        self._thread.start()
+
+    def _run(self) -> None:
+        while True:
+            item = self._queue.get()
+            try:
+                if item is None:
+                    return
+                peer_role, frame = item
+                self._channel._ensure_link(peer_role).send_frame(frame)
+            except BaseException:
+                self._error = traceback.format_exc()
+            finally:
+                self._queue.task_done()
+
+    def _check(self) -> None:
+        if self._error is not None:
+            raise FatalTransportError(
+                f"pipelined sender failed:\n{self._error}"
+            )
+
+    def submit(self, peer_role: str, frame: bytes) -> None:
+        self._check()
+        self._queue.put((peer_role, frame))
+
+    def stop(self) -> None:
+        """Drain every queued frame, then stop the thread."""
+        self._queue.put(None)
+        self._thread.join(timeout=60.0)
+        self._check()
+
+
+class FabricChannel(CodecChannel):
+    """A non-mirrored endpoint of the fabric: sends and receives are local.
+
+    A send whose *sender* is remote — or a recv for a remote party — is a
+    programming error on this tier and fails fatally: there is no mirror
+    to absorb it.  A send to a co-located party short-circuits through
+    the codec like the serializing tier; a send to a remote party
+    transmits the frame on the pair's link (dialled on first use).
+
+    Byte accounting covers both directions: outbound frames are charged
+    at the send site, inbound frames at decode (same measured length on
+    both ends of a link) — so the key owner's ledger, which every
+    protocol message touches, reconciles with the single-process tiers.
+    """
+
+    def __init__(
+        self,
+        role: str,
+        topology: FabricTopology,
+        ports: dict[str, int],
+        listener: socket.socket,
+        *,
+        record_transcript: bool = True,
+        retry: RetryPolicy | None = None,
+        timeout: float = 120.0,
+        close_timeout: float = 10.0,
+        pipeline: bool = False,
+    ):
+        super().__init__(record_transcript)
+        if role not in topology.roles:
+            raise ValueError(f"role {role!r} is not in the topology")
+        self.role = role
+        self.topology = topology
+        self.local_parties = frozenset(topology.roles[role])
+        self._ports = dict(ports)
+        self._listener = listener
+        self._listener.settimeout(_POLL_S)
+        self._retry = retry or RetryPolicy()
+        self._timeout = timeout
+        self._close_timeout = close_timeout
+        # Link grid state, guarded by one condition: the authoritative
+        # crossing-dial decision (accept vs refuse vs already-dialing) is
+        # a single atomic check-and-mark under this lock.
+        self._grid = threading.Condition()
+        self._links: dict[str, ReliableLink] = {}
+        self._dialing: set[str] = set()
+        self._rx_threads: dict[str, threading.Thread] = {}
+        # Mailbox: receiver threads deposit decoded messages per party;
+        # recv() selects by tag because cross-sender arrival order is
+        # scheduling-dependent (per-sender order stays FIFO).
+        self._mail_cv = threading.Condition()
+        self._mail: dict[str, deque[Message]] = {}
+        self._rx_errors: list[tuple[str, str]] = []
+        self._ledger_lock = threading.Lock()
+        self._pending_frame: bytes | None = None
+        self._sender: _PipelinedSender | None = None
+        self._draining = False
+        self._closing = False
+        self._acceptor = threading.Thread(
+            target=self._accept_loop, name=f"fabric-accept-{role}", daemon=True
+        )
+        self._acceptor.start()
+        if pipeline:
+            self.set_pipeline(True)
+
+    # ------------------------------------------------------------- pipelining
+
+    def set_pipeline(self, on: bool) -> None:
+        """Toggle async sends.  Off (default) keeps sends blocking — the
+        reference behaviour; on inserts the double-buffered sender thread.
+        Turning it off drains every queued frame first, so the toggle is
+        always safe at a protocol quiescence point."""
+        if on and self._sender is None:
+            self._sender = _PipelinedSender(self)
+        elif not on and self._sender is not None:
+            sender, self._sender = self._sender, None
+            sender.stop()
+
+    @property
+    def pipelined(self) -> bool:
+        return self._sender is not None
+
+    # ------------------------------------------------------------- link grid
+
+    def _register_link(self, peer_role: str, sock: socket.socket) -> None:
+        # Callers hold self._grid.
+        sock.settimeout(_POLL_S)
+        link = ReliableLink(sock, retry=self._retry)
+        self._links[peer_role] = link
+        thread = threading.Thread(
+            target=self._recv_loop,
+            args=(peer_role, link),
+            name=f"fabric-rx-{self.role}-{peer_role}",
+            daemon=True,
+        )
+        self._rx_threads[peer_role] = thread
+        thread.start()
+
+    def _hello(self, sock: socket.socket) -> str:
+        """Read the peer's hello and resolve it to a role in the topology."""
+        frame = read_frame(sock)
+        peer_parties, _keys = codec.decode_hello(frame, key_ring=self.key_ring)
+        if not peer_parties:
+            raise FatalTransportError("peer hello names no parties")
+        peer_role = self.topology.home_of(peer_parties[0])
+        if set(peer_parties) != set(self.topology.roles[peer_role]):
+            raise FatalTransportError(
+                f"peer hello claims parties {sorted(peer_parties)} but the "
+                f"topology places {sorted(self.topology.roles[peer_role])} "
+                f"at role {peer_role!r}"
+            )
+        if peer_role == self.role:
+            raise FatalTransportError(
+                f"endpoint {self.role!r} received its own role in a hello — "
+                f"mis-wired port map"
+            )
+        return peer_role
+
+    def _accept_loop(self) -> None:
+        while not self._closing:
+            try:
+                sock, _addr = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return  # listener closed: shutdown in progress
+            try:
+                self._admit(sock)
+            except BaseException:
+                try:
+                    sock.close()
+                except OSError:
+                    pass
+                if self._closing or self._draining:
+                    return
+                with self._mail_cv:
+                    self._rx_errors.append((self.role, traceback.format_exc()))
+                    self._mail_cv.notify_all()
+
+    def _admit(self, sock: socket.socket) -> None:
+        sock.settimeout(min(self._timeout, 10.0))
+        peer_role = self._hello(sock)
+        with self._grid:
+            if peer_role in self._links or (
+                self.role < peer_role and peer_role in self._dialing
+            ):
+                # Crossing dial: this endpoint is the lower-named role of
+                # the pair, so its own in-flight (or landed) dial is the
+                # authoritative connection.  Closing without a hello-ack
+                # tells the dialer to wait for ours instead.
+                sock.close()
+                return
+            sock.sendall(codec.encode_hello(sorted(self.local_parties)))
+            self._register_link(peer_role, sock)
+            self._grid.notify_all()
+
+    def _ensure_link(self, peer_role: str) -> ReliableLink:
+        """The pair's link, dialling it on first use."""
+        with self._grid:
+            link = self._links.get(peer_role)
+            if link is not None:
+                return link
+            if peer_role in self._dialing:
+                return self._await_link(peer_role)
+            self._dialing.add(peer_role)
+        sock = None
+        try:
+            sock = socket.create_connection(
+                ("127.0.0.1", self._ports[peer_role]), timeout=self._timeout
+            )
+            sock.settimeout(min(self._timeout, 10.0))
+            sock.sendall(codec.encode_hello(sorted(self.local_parties)))
+            acked_by = self._hello(sock)  # the hello-ack
+            if acked_by != peer_role:
+                raise FatalTransportError(
+                    f"dialled role {peer_role!r} but {acked_by!r} answered — "
+                    f"mis-wired port map"
+                )
+        except (RetryableTransportError, OSError):
+            # The peer closed our dial without a hello-ack: on a crossing
+            # dial the lower-named role refuses the non-authoritative
+            # connection, and its own dial is already in flight — wait
+            # for the acceptor to land it.  (A genuinely dead peer makes
+            # the wait below time out instead.)
+            if sock is not None:
+                try:
+                    sock.close()
+                except OSError:
+                    pass
+            with self._grid:
+                self._dialing.discard(peer_role)
+                self._grid.notify_all()
+            return self._await_link(peer_role)
+        with self._grid:
+            self._dialing.discard(peer_role)
+            existing = self._links.get(peer_role)
+            if existing is not None:
+                # The acceptor landed the peer's dial while ours was in
+                # flight; ours lost — use the registered link.
+                try:
+                    sock.close()
+                except OSError:
+                    pass
+                self._grid.notify_all()
+                return existing
+            self._register_link(peer_role, sock)
+            self._grid.notify_all()
+            return self._links[peer_role]
+
+    def _await_link(self, peer_role: str) -> ReliableLink:
+        # repro: nondeterministic-ok link-establishment deadline — a
+        # watchdog on connection setup, outside protocol state
+        deadline = time.monotonic() + self._timeout
+        with self._grid:
+            while True:
+                link = self._links.get(peer_role)
+                if link is not None:
+                    return link
+                # repro: nondeterministic-ok link-establishment countdown
+                remaining = deadline - time.monotonic()
+                if remaining <= 0.0:
+                    raise TransportTimeout(
+                        f"no link between {self.role!r} and {peer_role!r} "
+                        f"materialised within {self._timeout}s"
+                    )
+                self._grid.wait(min(_POLL_S, remaining))
+
+    # ---------------------------------------------------------------- inbound
+
+    def _recv_loop(self, peer_role: str, link: ReliableLink) -> None:
+        try:
+            while True:
+                frame = link.recv_frame_idle(lambda: self._closing)
+                if frame is None:
+                    return  # clean stop
+                msg = codec.decode_message(frame, key_ring=self.key_ring)
+                self._account(msg)
+                if self.record_transcript:
+                    self.transcript.append(msg)
+                with self._mail_cv:
+                    self._mail.setdefault(msg.receiver, deque()).append(msg)
+                    self._mail_cv.notify_all()
+        except (TransportDisconnected, OSError):
+            if self._closing or self._draining:
+                return  # peer finished and left: nothing owed either way
+            with self._mail_cv:
+                self._rx_errors.append((peer_role, traceback.format_exc()))
+                self._mail_cv.notify_all()
+        except BaseException:
+            with self._mail_cv:
+                self._rx_errors.append((peer_role, traceback.format_exc()))
+                self._mail_cv.notify_all()
+
+    def _account(self, msg: Message) -> None:
+        # Receiver threads and the protocol thread share the ledger.
+        with self._ledger_lock:
+            super()._account(msg)
+
+    def _check_rx(self) -> None:
+        # Callers hold self._mail_cv.
+        if self._rx_errors:
+            peer_role, tb = self._rx_errors[0]
+            raise FatalTransportError(
+                f"fabric receiver {self.role!r}<-{peer_role!r} failed:\n{tb}"
+            )
+
+    # ---------------------------------------------------------------- channel
+
+    def _transcode(self, msg: Message) -> Message:
+        if msg.sender not in self.local_parties:
+            raise FatalTransportError(
+                f"endpoint {self.role!r} cannot send for remote party "
+                f"{msg.sender!r} — fabric endpoints do not mirror"
+            )
+        frame = codec.encode_message(msg)
+        if msg.receiver in self.local_parties:
+            # Co-located hop: serializing-tier semantics — the receiver
+            # sees only what the bytes carry, nbytes is measured.
+            return codec.decode_message(frame, key_ring=self.key_ring)
+        msg.nbytes = len(frame)
+        self._pending_frame = frame
+        return msg
+
+    def _deliver(self, msg: Message) -> None:
+        if msg.receiver in self.local_parties:
+            with self._mail_cv:
+                self._mail.setdefault(msg.receiver, deque()).append(msg)
+                self._mail_cv.notify_all()
+            return
+        frame, self._pending_frame = self._pending_frame, None
+        peer_role = self.topology.home_of(msg.receiver)
+        if self._sender is not None:
+            self._sender.submit(peer_role, frame)
+        else:
+            self._ensure_link(peer_role).send_frame(frame)
+
+    def recv(self, receiver: str, tag: str | None = None) -> object:
+        if receiver not in self.local_parties:
+            raise FatalTransportError(
+                f"endpoint {self.role!r} cannot recv for remote party "
+                f"{receiver!r} — fabric endpoints do not mirror"
+            )
+        # repro: nondeterministic-ok recv deadline — a watchdog against
+        # peer death; the selected message is determined by tag, not time
+        deadline = time.monotonic() + self._timeout
+        with self._mail_cv:
+            while True:
+                self._check_rx()
+                found = self._pop_mail(receiver, tag)
+                if found is not None:
+                    return found.payload
+                # repro: nondeterministic-ok recv deadline countdown
+                remaining = deadline - time.monotonic()
+                if remaining <= 0.0:
+                    raise TransportTimeout(
+                        f"party {receiver!r} timed out after "
+                        f"{self._timeout}s waiting for tag {tag!r}"
+                    )
+                self._mail_cv.wait(min(_POLL_S, remaining))
+
+    def _pop_mail(self, receiver: str, tag: str | None) -> Message | None:
+        # Callers hold self._mail_cv.  Tag-selective: frames from
+        # different senders interleave nondeterministically, so the
+        # protocol names the step it expects instead of trusting heads.
+        box = self._mail.get(receiver)
+        if not box:
+            return None
+        if tag is None:
+            return box.popleft()
+        for i, msg in enumerate(box):
+            if msg.tag == tag:
+                del box[i]
+                return msg
+        return None
+
+    def pending(self, receiver: str) -> int:
+        with self._mail_cv:
+            box = self._mail.get(receiver)
+            return len(box) if box else 0
+
+    def link_stats(self) -> dict[str, dict]:
+        """Final per-peer reliability ledgers (keyed by peer role)."""
+        return {
+            peer_role: link.stats.as_dict()
+            for peer_role, link in sorted(self._links.items())
+        }
+
+    # --------------------------------------------------------------- shutdown
+
+    def shutdown(self) -> None:
+        """Drain the grid, verify the protocol completed, close everything.
+
+        FIN is announced on every live link and the endpoint stays up —
+        receiver threads keep servicing NAKs — until each peer's FIN
+        covers everything received, so a slow peer can still recover its
+        tail frames from us.  Leftover mailbox entries after the drain
+        mean this endpoint's program under-consumed and fail loudly.
+        """
+        try:
+            if self._sender is not None:
+                self.set_pipeline(False)  # drains the queue in order
+            self._draining = True
+            for link in self._links.values():
+                try:
+                    link._send_fin()
+                except (TransportError, OSError):
+                    pass  # peer already gone: nothing left to protect
+            # repro: nondeterministic-ok fin-drain deadline — close-time
+            # watchdog; protocol state is already final here
+            deadline = time.monotonic() + self._close_timeout
+            while True:
+                done = all(
+                    link._peer_fin is not None
+                    and link._peer_fin <= link.recv_seq
+                    for link in self._links.values()
+                )
+                if done:
+                    break
+                # repro: nondeterministic-ok fin-drain countdown
+                if time.monotonic() >= deadline:
+                    break  # silent peer: close anyway, its driver reports
+                time.sleep(0.01)
+        finally:
+            self._closing = True
+            for link in self._links.values():
+                try:
+                    link.sock.close()
+                except OSError:
+                    pass
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+            for thread in self._rx_threads.values():
+                thread.join(timeout=5.0)
+            self._acceptor.join(timeout=5.0)
+        with self._mail_cv:
+            self._check_rx()
+            leftovers = {
+                party: len(box) for party, box in self._mail.items() if box
+            }
+        if leftovers:
+            raise FatalTransportError(
+                f"protocol ended with undelivered messages pending for "
+                f"{leftovers}"
+            )
+
+
+# ---------------------------------------------------------------------------
+# Federation driver: one child process per endpoint.
+
+
+def _fabric_endpoint_main(
+    role: str,
+    topology: FabricTopology,
+    program,
+    args: tuple,
+    port_report_queue,
+    port_map_queue,
+    result_queue,
+    timeout: float,
+    record_transcript: bool,
+    retry: RetryPolicy | None,
+    pipeline: bool,
+) -> None:
+    """Child-process entry: listen, learn the port map, run, report."""
+    listener = None
+    channel = None
+    try:
+        listener = socket.create_server(("127.0.0.1", 0))
+        port_report_queue.put((role, listener.getsockname()[1]))
+        ports = port_map_queue.get(timeout=timeout)
+        channel = FabricChannel(
+            role,
+            topology,
+            ports,
+            listener,
+            record_transcript=record_transcript,
+            retry=retry,
+            timeout=timeout,
+            pipeline=pipeline,
+        )
+        result = program(channel, *args)
+        channel.shutdown()
+        result_queue.put((role, True, result, channel.link_stats()))
+    except BaseException:
+        result_queue.put((role, False, traceback.format_exc(), None))
+    finally:
+        if listener is not None:
+            try:
+                listener.close()
+            except OSError:
+                pass
+
+
+def run_federation(
+    program,
+    args: tuple = (),
+    *,
+    roles: dict[str, tuple[str, ...]],
+    mirror: bool | None = None,
+    timeout: float = 120.0,
+    record_transcript: bool = True,
+    start_method: str | None = None,
+    sock_timeout: float | None = None,
+    retry: RetryPolicy | None = None,
+    fault_plans: dict | None = None,
+    pipeline: bool = False,
+) -> dict[str, object]:
+    """Run ``program`` on one OS process per role and gather the results.
+
+    ``roles`` maps each endpoint name to the tuple of parties it hosts
+    (every party exactly once).  Returns the structured shape
+    ``{"results": {role: value}, "link_stats": {role: ...}}``.
+
+    Two execution models share this entry point:
+
+    * ``mirror=True`` (default for exactly two roles): the lockstep
+      mirrored tier of :mod:`repro.comm.transport` — both processes run
+      the *same* program and verify each other's frames.  This is the
+      only mode supporting ``fault_plans`` and ``sock_timeout``, and
+      ``link_stats[role]`` is that endpoint's single-link ledger.
+    * ``mirror=False`` (default for three or more roles): the fabric —
+      each process executes only its parties' protocol side over the
+      lazily-dialled link grid, and ``link_stats[role]`` maps *peer
+      roles* to per-link ledgers.  ``pipeline`` pre-enables async sends
+      on every endpoint (programs can also toggle
+      ``channel.set_pipeline``).
+
+    The program contract differs between the modes: mirrored programs
+    are written as the full interleaved protocol, fabric programs must
+    guard each actor's statements (``ctx.is_local``) — see
+    :mod:`repro.core.multiparty`.
+    """
+    topology = FabricTopology(roles)
+    if mirror is None:
+        mirror = len(topology.roles) == 2
+    if start_method is None:
+        start_method = (
+            "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
+        )
+    mp = multiprocessing.get_context(start_method)
+    result_queue = mp.Queue()
+
+    if mirror:
+        if len(topology.roles) != 2:
+            raise ValueError(
+                f"mirrored lockstep supports exactly two endpoints, got "
+                f"{sorted(topology.roles)}; pass mirror=False for the fabric"
+            )
+        listener_role = (
+            "host" if "host" in topology.roles else sorted(topology.roles)[0]
+        )
+        port_queue = mp.Queue()
+        fault_plans = fault_plans or {}
+        children = {
+            role: mp.Process(
+                target=_endpoint_main,
+                args=(
+                    role,
+                    role == listener_role,
+                    frozenset(parties),
+                    program,
+                    tuple(args),
+                    port_queue,
+                    result_queue,
+                    timeout,
+                    record_transcript,
+                    sock_timeout,
+                    retry,
+                    fault_plans.get(role),
+                ),
+                daemon=True,
+                name=f"blindfl-{role}",
+            )
+            for role, parties in topology.roles.items()
+        }
+    else:
+        if fault_plans:
+            raise ValueError(
+                "fault_plans is mirror-mode only: fabric fault injection "
+                "is not supported yet"
+            )
+        if sock_timeout is not None:
+            raise ValueError(
+                "sock_timeout is mirror-mode only: fabric sockets poll on "
+                "a fixed short slice"
+            )
+        port_report_queue = mp.Queue()
+        port_map_queues = {role: mp.Queue() for role in topology.roles}
+        children = {
+            role: mp.Process(
+                target=_fabric_endpoint_main,
+                args=(
+                    role,
+                    topology,
+                    program,
+                    tuple(args),
+                    port_report_queue,
+                    port_map_queues[role],
+                    result_queue,
+                    timeout,
+                    record_transcript,
+                    retry,
+                    pipeline,
+                ),
+                daemon=True,
+                name=f"blindfl-{role}",
+            )
+            for role in topology.roles
+        }
+
+    for child in children.values():
+        child.start()
+
+    if not mirror:
+        # Gather every endpoint's listening port, then broadcast the full
+        # map — link establishment itself stays lazy (dial on first send).
+        ports: dict[str, int] = {}
+        try:
+            for _ in children:
+                role, port = port_report_queue.get(timeout=timeout)
+                ports[role] = port
+        except queue_mod.Empty:
+            for child in children.values():
+                child.terminate()
+            missing = sorted(set(children) - set(ports))
+            raise FatalTransportError(
+                f"endpoints {missing} never reported a listening port"
+            ) from None
+        for role_queue in port_map_queues.values():
+            role_queue.put(ports)
+
+    results, link_stats = _await_results(
+        children, result_queue, timeout, what="federation run"
+    )
+    return {"results": results, "link_stats": link_stats}

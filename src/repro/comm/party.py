@@ -103,7 +103,10 @@ class Party:
 
     name: str
     public_key: PaillierPublicKey
-    private_key: PaillierPrivateKey
+    # ``None`` on fabric endpoints that do not host this party: every
+    # process derives the same seeded *public* keys, but only the party's
+    # home endpoint retains decryption capability.
+    private_key: PaillierPrivateKey | None
     rng: np.random.Generator
     peer_public_keys: dict[str, PaillierPublicKey] = field(default_factory=dict)
 
@@ -130,6 +133,7 @@ class VFLContext:
         seed: int = 0,
         n_a_parties: int = 1,
         channel: Channel | None = None,
+        local_parties: frozenset[str] | set[str] | None = None,
     ):
         if n_a_parties < 1:
             raise ValueError("need at least one Party A")
@@ -147,6 +151,26 @@ class VFLContext:
         else:
             a_names = [f"A{i + 1}" for i in range(n_a_parties)]
         names = a_names + ["B"]
+        # ``local_parties`` declares which parties this *process* hosts.
+        # ``None`` (the default) means all of them — the single-process
+        # simulation.  A non-mirrored fabric endpoint passes only its own
+        # parties: every keypair is still derived from the same per-party
+        # seeds (so public keys agree across endpoints), but the private
+        # keys of remote parties are dropped on the floor — this endpoint
+        # must never be able to decrypt traffic it merely relays.
+        if local_parties is None:
+            local = frozenset(names)
+        else:
+            local = frozenset(local_parties)
+            unknown = local - set(names)
+            if unknown:
+                raise ValueError(
+                    f"local_parties {sorted(unknown)} not in federation "
+                    f"{names}"
+                )
+            if not local:
+                raise ValueError("local_parties must name at least one party")
+        self.local_parties = local
         rngs = spawn_rngs(seed, len(names))
         self.parties: dict[str, Party] = {}
         for offset, (name, rng) in enumerate(zip(names, rngs)):
@@ -156,7 +180,10 @@ class VFLContext:
                 blinding_lambda=self.config.blinding_lambda,
             )
             self.parties[name] = Party(
-                name=name, public_key=pk, private_key=sk, rng=rng
+                name=name,
+                public_key=pk,
+                private_key=sk if name in local else None,
+                rng=rng,
             )
         # Exchange public keys (the one PUBLIC broadcast of initialisation).
         for party in self.parties.values():
@@ -192,6 +219,10 @@ class VFLContext:
                 )
         self._register_keys(channel)
         self.channel = channel
+
+    def is_local(self, name: str) -> bool:
+        """Whether this process hosts ``name`` (executes its protocol side)."""
+        return name in self.local_parties
 
     @property
     def A(self) -> Party:

@@ -74,8 +74,10 @@ import queue as queue_mod
 import random
 import socket
 import struct
+import threading
 import time
 import traceback
+import warnings
 from collections import OrderedDict
 from dataclasses import dataclass, field
 
@@ -95,6 +97,7 @@ __all__ = [
     "LinkStats",
     "ReliableLink",
     "NetworkChannel",
+    "TwoPartyResult",
     "read_frame",
     "run_two_party",
 ]
@@ -291,6 +294,13 @@ class ReliableLink:
         self.peer_ack = 0  # highest cumulative ack received from the peer
         self._peer_fin: int | None = None  # peer's announced final watermark
         self._resend: OrderedDict[int, bytes] = OrderedDict()
+        # Serialises every outbound write and the send-side bookkeeping
+        # (resend buffer, ack watermark): the fabric drives one link from
+        # a protocol/sender thread *and* a receiver thread (whose NAK
+        # handling retransmits), so envelopes must never interleave
+        # mid-write.  Reentrant because send paths nest (send_frame ->
+        # _send_env, _retransmit_from -> _send_env).
+        self._lock = threading.RLock()
 
     def _count(self, stat: str, n: int = 1) -> None:
         """Bump a LinkStats counter and its traced ``link.<name>`` mirror.
@@ -308,31 +318,35 @@ class ReliableLink:
 
     def send_frame(self, frame: bytes) -> None:
         """Transmit one codec frame with at-least-once delivery."""
-        self.send_seq += 1
-        self._resend[self.send_seq] = frame
-        self.stats.resend_highwater = max(
-            self.stats.resend_highwater, len(self._resend)
-        )
-        self._prune_resend()
-        env = encode_envelope(ENV_DATA, self.send_seq, self.recv_seq, frame)
-        self._count("data_sent")
-        self._send_env(env, replayable=True)
+        with self._lock:
+            self.send_seq += 1
+            self._resend[self.send_seq] = frame
+            self.stats.resend_highwater = max(
+                self.stats.resend_highwater, len(self._resend)
+            )
+            self._prune_resend()
+            env = encode_envelope(ENV_DATA, self.send_seq, self.recv_seq, frame)
+            self._count("data_sent")
+            self._send_env(env, replayable=True)
 
     def _send_env(self, env: bytes, replayable: bool = False) -> None:
-        try:
-            self.sock.sendall(env)
-            self._count("envelope_bytes", ENV_OVERHEAD)
-        except socket.timeout:
-            raise TransportTimeout(
-                "timed out writing a frame — peer stopped draining the link"
-            ) from None
-        except OSError as exc:
-            # A DATA envelope is already in the resend buffer: the RESUME
-            # replay after reconnect retransmits it, so nothing is lost.
-            # Control envelopes are regenerated by their send sites.
-            self._recover_connection(exc)
-            if not replayable:
-                return
+        with self._lock:
+            try:
+                self.sock.sendall(env)
+                self._count("envelope_bytes", ENV_OVERHEAD)
+            except socket.timeout:
+                raise TransportTimeout(
+                    "timed out writing a frame — peer stopped draining the "
+                    "link"
+                ) from None
+            except OSError as exc:
+                # A DATA envelope is already in the resend buffer: the
+                # RESUME replay after reconnect retransmits it, so nothing
+                # is lost.  Control envelopes are regenerated by their send
+                # sites.
+                self._recover_connection(exc)
+                if not replayable:
+                    return
 
     def _prune_resend(self) -> None:
         while self._resend and next(iter(self._resend)) <= self.peer_ack:
@@ -342,9 +356,10 @@ class ReliableLink:
         # excursion so tests can pin the bound on clean runs.
 
     def _note_ack(self, ack: int) -> None:
-        if ack > self.peer_ack:
-            self.peer_ack = ack
-            self._prune_resend()
+        with self._lock:
+            if ack > self.peer_ack:
+                self.peer_ack = ack
+                self._prune_resend()
 
     # ------------------------------------------------------------------ recv
 
@@ -403,6 +418,54 @@ class ReliableLink:
             # Sequence gap: the frames in between were dropped in transit.
             self._send_nak()
 
+    def recv_frame_idle(self, should_stop) -> bytes | None:
+        """Deliver the next in-order frame on a link with no lockstep clock.
+
+        Fabric receiver threads cannot read meaning into a socket timeout
+        — an idle link between protocol steps is normal, not a crashed
+        peer — so a timeout here just polls ``should_stop`` and keeps
+        listening: no NAK, no counter bump, the clean-link ledger stays
+        untouched.  Corruption and sequence gaps still NAK immediately
+        (this receiver always knows the next sequence number it needs),
+        and NAK/RESUME/FIN control traffic is serviced in place.  Returns
+        ``None`` when ``should_stop()`` turns true while idle; a dropped
+        connection surfaces as :class:`TransportDisconnected` for the
+        caller to classify (clean peer exit vs. mid-protocol death).
+        """
+        while True:
+            if should_stop():
+                return None
+            try:
+                etype, seq, ack, payload = self._read_envelope()
+            except TransportTimeout:
+                continue  # idle link: poll the stop flag, keep listening
+            except LinkCorruptionError:
+                self._count("corrupt_dropped")
+                self._send_nak()
+                continue
+            self._note_ack(ack)
+            if etype == ENV_NAK:
+                self._count("naks_received")
+                self._retransmit_from(seq)
+                continue
+            if etype == ENV_RESUME:
+                self._replay_unacked()
+                continue
+            if etype == ENV_FIN:
+                self._peer_fin = seq
+                if seq > self.recv_seq:
+                    self._send_nak()
+                continue
+            # DATA
+            if seq == self.recv_seq + 1:
+                self.recv_seq = seq
+                self._count("data_received")
+                return payload
+            if seq <= self.recv_seq:
+                self._count("duplicates_dropped")
+                continue
+            self._send_nak()
+
     def _read_envelope(self) -> tuple[int, int, int, bytes]:
         header = _recv_exact(self.sock, ENV_HEADER_SIZE)
         if header[:2] != ENV_MAGIC:
@@ -432,24 +495,28 @@ class ReliableLink:
         self._send_env(encode_envelope(ENV_NAK, self.recv_seq + 1, self.recv_seq))
 
     def _retransmit_from(self, seq: int) -> None:
-        if seq > self.send_seq:
-            # The peer is ahead of us (it NAKed a frame we have not produced
-            # yet — e.g. its read timed out while we were still computing).
-            # Nothing to replay; our next send satisfies it.
-            return
-        missing = [s for s in self._resend if s >= seq]
-        if not missing and seq > self.peer_ack:
-            raise FatalTransportError(
-                f"peer requested retransmission from seq {seq} but the "
-                f"resend buffer no longer holds it (acked through "
-                f"{self.peer_ack}) — ack bookkeeping diverged"
-            )
-        for s in sorted(missing):
-            self._count("retransmits")
-            self._send_env(
-                encode_envelope(ENV_DATA, s, self.recv_seq, self._resend[s]),
-                replayable=True,
-            )
+        with self._lock:
+            if seq > self.send_seq:
+                # The peer is ahead of us (it NAKed a frame we have not
+                # produced yet — e.g. its read timed out while we were
+                # still computing).  Nothing to replay; our next send
+                # satisfies it.
+                return
+            missing = [s for s in self._resend if s >= seq]
+            if not missing and seq > self.peer_ack:
+                raise FatalTransportError(
+                    f"peer requested retransmission from seq {seq} but the "
+                    f"resend buffer no longer holds it (acked through "
+                    f"{self.peer_ack}) — ack bookkeeping diverged"
+                )
+            for s in sorted(missing):
+                self._count("retransmits")
+                self._send_env(
+                    encode_envelope(
+                        ENV_DATA, s, self.recv_seq, self._resend[s]
+                    ),
+                    replayable=True,
+                )
 
     # ------------------------------------------------------------- reconnect
 
@@ -508,13 +575,16 @@ class ReliableLink:
             ) from None
 
     def _replay_unacked(self) -> None:
-        for s in sorted(self._resend):
-            if s > self.peer_ack:
-                self._count("retransmits")
-                self._send_env(
-                    encode_envelope(ENV_DATA, s, self.recv_seq, self._resend[s]),
-                    replayable=True,
-                )
+        with self._lock:
+            for s in sorted(self._resend):
+                if s > self.peer_ack:
+                    self._count("retransmits")
+                    self._send_env(
+                        encode_envelope(
+                            ENV_DATA, s, self.recv_seq, self._resend[s]
+                        ),
+                        replayable=True,
+                    )
 
     def close(self) -> None:
         """Close the link; with ``graceful_close``, drain first.
@@ -537,10 +607,13 @@ class ReliableLink:
             pass
 
     def _send_fin(self) -> None:
-        # Raw send: _send_env's recovery hook has no place at close time.
-        self.sock.sendall(encode_envelope(ENV_FIN, self.send_seq, self.recv_seq))
-        self._count("fins")
-        self._count("envelope_bytes", ENV_OVERHEAD)
+        with self._lock:
+            # Raw send: _send_env's recovery hook has no place at close time.
+            self.sock.sendall(
+                encode_envelope(ENV_FIN, self.send_seq, self.recv_seq)
+            )
+            self._count("fins")
+            self._count("envelope_bytes", ENV_OVERHEAD)
 
     def _drain_close(self) -> None:
         """FIN handshake: stay up until the peer is demonstrably done.
@@ -761,6 +834,7 @@ class NetworkChannel(CodecChannel):
 
 def _endpoint_main(
     role: str,
+    listen: bool,
     local_parties: frozenset[str],
     program,
     args: tuple,
@@ -772,12 +846,16 @@ def _endpoint_main(
     retry: RetryPolicy | None = None,
     fault_plan=None,
 ) -> None:
-    """Child-process entry: wire up the socket, run the program, report."""
+    """Child-process entry: wire up the socket, run the program, report.
+
+    Exactly one endpoint of the pair passes ``listen=True`` (it binds an
+    ephemeral port and publishes it on ``port_queue``); the other dials.
+    """
     sock = None
     listener = None
     per_read = sock_timeout if sock_timeout is not None else timeout
     try:
-        if role == "host":
+        if listen:
             listener = socket.create_server(("127.0.0.1", 0))
             listener.settimeout(timeout)
             port = listener.getsockname()[1]
@@ -794,11 +872,11 @@ def _endpoint_main(
             endpoint_sock = FaultySocket(sock, fault_plan)
 
         def _reconnect() -> socket.socket:
-            # The host keeps its listener open for the run's lifetime and
-            # re-accepts; the guest redials the same port.  The fault
-            # wrapper is rebound so the seeded plan keeps counting frames
-            # across the new connection.
-            if role == "host":
+            # The listener endpoint keeps its server socket open for the
+            # run's lifetime and re-accepts; the dialer redials the same
+            # port.  The fault wrapper is rebound so the seeded plan keeps
+            # counting frames across the new connection.
+            if listen:
                 fresh, _ = listener.accept()
             else:
                 fresh = socket.create_connection(
@@ -837,79 +915,26 @@ def _endpoint_main(
                     pass
 
 
-def run_two_party(
-    program,
-    args: tuple = (),
-    *,
-    guest_parties: tuple[str, ...] = ("A",),
-    host_parties: tuple[str, ...] = ("B",),
-    timeout: float = 120.0,
-    record_transcript: bool = True,
-    start_method: str | None = None,
-    sock_timeout: float | None = None,
-    retry: RetryPolicy | None = None,
-    fault_plans: dict | None = None,
-) -> dict[str, object]:
-    """Run ``program`` as guest and host in separate OS processes.
+def _await_results(
+    children: dict[str, object],
+    result_queue,
+    timeout: float,
+    what: str = "run",
+) -> tuple[dict[str, object], dict[str, object]]:
+    """Collect every child's report under a hard deadline.
 
-    ``program(channel, *args)`` must be deterministic given its arguments
-    (build the federation from seeds, train, return a picklable digest);
-    both endpoints execute it in lockstep over a loopback TCP connection.
-    Returns ``{"guest": result, "host": result, "link_stats": {...}}``
-    where ``link_stats`` maps each role to its endpoint's final
-    :class:`LinkStats` dict (snapshotted after the graceful close), so
-    chaos tests and benches read recovery counters from the return value.
-
-    ``sock_timeout`` bounds each socket read (defaults to ``timeout``):
-    chaos runs set it low so dropped frames are NAKed quickly while the
-    overall deadline stays generous.  ``fault_plans`` maps a role
-    (``"guest"``/``"host"``) to a seeded
-    :class:`~repro.comm.faults.FaultPlan` applied to that endpoint's
-    outbound DATA envelopes.  ``retry`` overrides the link's
-    :class:`RetryPolicy`.
-
-    A hard deadline of ``timeout`` seconds covers connection setup, every
-    socket read, and the overall run, and child liveness is polled while
-    waiting: an endpoint that dies before reporting (OOM, SIGKILL, crash)
-    fails the run as soon as the death is observed — with its exit code —
-    instead of burning the full deadline.
+    Shared by the two-party and fabric drivers.  Returns
+    ``(results, link_stats)`` keyed by role; raises
+    :class:`FatalTransportError` on deadline expiry, on a child dying
+    before reporting (with its exit code), or on any reported failure
+    (with the child's traceback).  Children are always joined/terminated
+    before returning.
     """
-    if start_method is None:
-        start_method = (
-            "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
-        )
-    mp = multiprocessing.get_context(start_method)
-    port_queue = mp.Queue()
-    result_queue = mp.Queue()
-    fault_plans = fault_plans or {}
-    children = {
-        role: mp.Process(
-            target=_endpoint_main,
-            args=(
-                role,
-                frozenset(parties),
-                program,
-                tuple(args),
-                port_queue,
-                result_queue,
-                timeout,
-                record_transcript,
-                sock_timeout,
-                retry,
-                fault_plans.get(role),
-            ),
-            daemon=True,
-            name=f"blindfl-{role}",
-        )
-        for role, parties in (("host", host_parties), ("guest", guest_parties))
-    }
-    for child in children.values():
-        child.start()
     results: dict[str, object] = {}
-    link_stats: dict[str, dict] = {}
+    link_stats: dict[str, object] = {}
     failures: dict[str, str] = {}
     # repro: nondeterministic-ok driver watchdog deadline — the parent
-    # process's kill-switch clock, outside the mirrored protocol state
+    # process's kill-switch clock, outside the protocol state
     deadline = time.monotonic() + timeout
     grace_deadline: float | None = None
     dead: dict[str, int | None] = {}
@@ -919,8 +944,8 @@ def run_two_party(
             remaining = deadline - time.monotonic()
             if remaining <= 0.0:
                 raise FatalTransportError(
-                    f"two-party run produced no result within {timeout}s — "
-                    f"protocol deadlock; terminating both endpoints"
+                    f"{what} produced no result within {timeout}s — "
+                    f"protocol deadlock; terminating all endpoints"
                 )
             # Poll in short slices so child deaths are observed promptly.
             try:
@@ -968,6 +993,94 @@ def run_two_party(
         detail = "\n\n".join(
             f"--- {role} endpoint failed ---\n{tb}" for role, tb in failures.items()
         )
-        raise FatalTransportError(f"two-party run failed:\n{detail}")
-    results["link_stats"] = link_stats
-    return results
+        raise FatalTransportError(f"{what} failed:\n{detail}")
+    return results, link_stats
+
+
+class TwoPartyResult(dict):
+    """:func:`run_two_party`'s structured result, with legacy key access.
+
+    The structured shape is ``{"results": {role: value}, "link_stats":
+    {role: stats}}`` — role results no longer share a namespace with the
+    ``"link_stats"`` key (a role literally named ``link_stats`` used to
+    collide silently).  Indexing by a bare role name still works for the
+    transition but warns: read ``result["results"][role]`` instead.
+    """
+
+    def __getitem__(self, key):
+        try:
+            return super().__getitem__(key)
+        except KeyError:
+            role_results = super().__getitem__("results")
+            if isinstance(role_results, dict) and key in role_results:
+                warnings.warn(
+                    f"run_two_party(...)[{key!r}] uses the deprecated flat "
+                    f"result shape; read [...]['results'][{key!r}] instead",
+                    DeprecationWarning,
+                    stacklevel=2,
+                )
+                return role_results[key]
+            raise
+
+    def __contains__(self, key) -> bool:
+        if super().__contains__(key):
+            return True
+        role_results = super().__getitem__("results")
+        return isinstance(role_results, dict) and key in role_results
+
+
+def run_two_party(
+    program,
+    args: tuple = (),
+    *,
+    guest_parties: tuple[str, ...] = ("A",),
+    host_parties: tuple[str, ...] = ("B",),
+    timeout: float = 120.0,
+    record_transcript: bool = True,
+    start_method: str | None = None,
+    sock_timeout: float | None = None,
+    retry: RetryPolicy | None = None,
+    fault_plans: dict | None = None,
+) -> TwoPartyResult:
+    """Run ``program`` as guest and host in separate OS processes.
+
+    A thin wrapper over :func:`repro.comm.fabric.run_federation` in
+    mirrored lockstep mode (the original two-party execution model:
+    ``program(channel, *args)`` must be deterministic given its
+    arguments, and both endpoints execute it in lockstep over a loopback
+    TCP connection).  Returns a :class:`TwoPartyResult` —
+    ``{"results": {"guest": ..., "host": ...}, "link_stats": {...}}`` —
+    where ``link_stats`` maps each role to its endpoint's final
+    :class:`LinkStats` dict (snapshotted after the graceful close), so
+    chaos tests and benches read recovery counters from the return value.
+
+    ``sock_timeout`` bounds each socket read (defaults to ``timeout``):
+    chaos runs set it low so dropped frames are NAKed quickly while the
+    overall deadline stays generous.  ``fault_plans`` maps a role
+    (``"guest"``/``"host"``) to a seeded
+    :class:`~repro.comm.faults.FaultPlan` applied to that endpoint's
+    outbound DATA envelopes.  ``retry`` overrides the link's
+    :class:`RetryPolicy`.
+
+    A hard deadline of ``timeout`` seconds covers connection setup, every
+    socket read, and the overall run, and child liveness is polled while
+    waiting: an endpoint that dies before reporting (OOM, SIGKILL, crash)
+    fails the run as soon as the death is observed — with its exit code —
+    instead of burning the full deadline.
+    """
+    # Late import: fabric builds on this module's link layer.
+    from repro.comm.fabric import run_federation
+
+    out = run_federation(
+        program,
+        args,
+        roles={"host": tuple(host_parties), "guest": tuple(guest_parties)},
+        mirror=True,
+        timeout=timeout,
+        record_transcript=record_transcript,
+        start_method=start_method,
+        sock_timeout=sock_timeout,
+        retry=retry,
+        fault_plans=fault_plans,
+    )
+    return TwoPartyResult(out)

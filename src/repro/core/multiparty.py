@@ -8,6 +8,20 @@ once per ``A(i)`` (B contributing ``U_B / M`` each time, per the paper's
 equation) and sums the results; the backward pass shares each
 ``grad_W_A(i)`` pairwise and lets B update ``U_B`` with the full local
 gradient.
+
+Non-mirrored execution
+----------------------
+Every statement below belongs to exactly one actor (some ``A(i)`` or B),
+and is guarded by ``ctx.is_local(actor)``.  In the single-process
+simulation all parties are local, so the guards are all true and the layer
+runs the original interleaved schedule — bit-identical to the pre-fabric
+implementation.  On a fabric endpoint (see :mod:`repro.comm.fabric`) only
+the local party's statements execute: remote state objects are never
+constructed, remote RNG streams are never drawn from, and every
+cross-party value arrives through the channel.  Per-party *draw order* is
+preserved exactly, which is the only thing bit-identity of losses and
+weights depends on — obfuscation blinders never survive decryption, and
+HE2SS masks cancel exactly in the weight-piece sums.
 """
 
 from __future__ import annotations
@@ -76,141 +90,208 @@ class MultiPartyMatMulSource(SourceLayer):
         self._cfg = ctx.config
         self._step = 0
         b, ch = ctx.B, ctx.channel
+        local = ctx.is_local
         m = len(ctx.a_names)
         piece = init_scale / np.sqrt(2.0)
-        # Algorithm 3, MultiPartyMatMulInit.
-        self._b = _BState(
-            u=b.rng.normal(0.0, piece, size=(in_b, out_dim)),
-            v_a={},
-            enc_v_b={},
+        # Algorithm 3, MultiPartyMatMulInit.  B's state exists only where
+        # B is local — an A(i) endpoint must never hold B's plaintext
+        # pieces, nor advance B's RNG stream.
+        self._b = (
+            _BState(
+                u=b.rng.normal(0.0, piece, size=(in_b, out_dim)),
+                v_a={},
+                enc_v_b={},
+            )
+            if local("B")
+            else None
         )
         self._a: dict[str, _AState] = {}
         for a_name in ctx.a_names:
             a = ctx.parties[a_name]
             in_a = in_dims[a_name]
-            v_a = b.rng.normal(0.0, piece, size=(in_a, out_dim))
-            self._b.v_a[a_name] = v_a
-            ch.send(
-                b.name, a_name, f"{name}.init.encV_{a_name}",
-                CryptoTensor.encrypt(b.public_key, v_a, obfuscate=True),
-                MessageKind.CIPHERTEXT,
-            )
-            u_a = a.rng.normal(0.0, piece, size=(in_a, out_dim))
-            v_b = a.rng.normal(0.0, piece / np.sqrt(m), size=(in_b, out_dim))
-            ch.send(
-                a_name, b.name, f"{name}.init.encVB_{a_name}",
-                CryptoTensor.encrypt(a.public_key, v_b, obfuscate=True),
-                MessageKind.CIPHERTEXT,
-            )
-            self._a[a_name] = _AState(
-                u=u_a, v_b=v_b, enc_v_own=ch.recv(a_name, f"{name}.init.encV_{a_name}")
-            )
-            self._b.enc_v_b[a_name] = ch.recv(b.name, f"{name}.init.encVB_{a_name}")
-        self._b.__post_init__()
+            if local("B"):
+                v_a = b.rng.normal(0.0, piece, size=(in_a, out_dim))
+                self._b.v_a[a_name] = v_a
+                ch.send(
+                    b.name, a_name, f"{name}.init.encV_{a_name}",
+                    CryptoTensor.encrypt(b.public_key, v_a, obfuscate=True),
+                    MessageKind.CIPHERTEXT,
+                )
+            if local(a_name):
+                u_a = a.rng.normal(0.0, piece, size=(in_a, out_dim))
+                v_b = a.rng.normal(
+                    0.0, piece / np.sqrt(m), size=(in_b, out_dim)
+                )
+                ch.send(
+                    a_name, b.name, f"{name}.init.encVB_{a_name}",
+                    CryptoTensor.encrypt(a.public_key, v_b, obfuscate=True),
+                    MessageKind.CIPHERTEXT,
+                )
+                self._a[a_name] = _AState(
+                    u=u_a,
+                    v_b=v_b,
+                    enc_v_own=ch.recv(a_name, f"{name}.init.encV_{a_name}"),
+                )
+            if local("B"):
+                self._b.enc_v_b[a_name] = ch.recv(
+                    b.name, f"{name}.init.encVB_{a_name}"
+                )
+        if local("B"):
+            self._b.__post_init__()
 
     # ------------------------------------------------------------------ forward
 
     def forward(
         self, x_by_party: dict[str, np.ndarray | CSRMatrix], train: bool = True
-    ) -> np.ndarray:
-        """Algorithm 3, MultiPartyMatMulFw: sum of pairwise MatMul rounds."""
+    ) -> np.ndarray | None:
+        """Algorithm 3, MultiPartyMatMulFw: sum of pairwise MatMul rounds.
+
+        Returns the summed output shares at Party B; ``None`` on endpoints
+        where B is remote (the logits only ever materialise at B).
+        ``x_by_party`` need only cover this endpoint's local parties.
+        """
         self._step += 1
         tag = f"{self.name}.{self._step}"
         cfg, ch = self._cfg, self.ctx.channel
         b = self.ctx.B
-        x_b = x_by_party["B"]
-        if train:
-            self._b.x_cache = x_b
+        local = self.ctx.is_local
+        if local("B"):
+            x_b = x_by_party["B"]
+            if train:
+                self._b.x_cache = x_b
         m = len(self.ctx.a_names)
         z_total = None
         for a_name in self.ctx.a_names:
             a = self.ctx.parties[a_name]
-            state = self._a[a_name]
-            x_a = x_by_party[a_name]
-            if train:
-                state.x_cache = x_a
-            # Pairwise Figure 6 forward, with B contributing U_B / M.
-            ct_a = x_a @ state.enc_v_own
-            eps_a = he2ss_split(
-                ct_a, a, "B", ch, f"{tag}.fwd.XV_{a_name}", cfg.mask_scale
-            )
-            ct_b = x_b @ self._b.enc_v_b[a_name]
-            eps_b = he2ss_split(
-                ct_b, b, a_name, ch, f"{tag}.fwd.XVB_{a_name}", cfg.mask_scale
-            )
-            xvb_share = he2ss_receive(a, ch, f"{tag}.fwd.XVB_{a_name}")
-            xva_share = he2ss_receive(b, ch, f"{tag}.fwd.XV_{a_name}")
-            z_a = matmul_any(x_a, state.u) + eps_a + xvb_share
-            ch.send(a_name, b.name, f"{tag}.fwd.Z_{a_name}", z_a, MessageKind.OUTPUT_SHARE)
-            z_i = (
-                ch.recv(b.name, f"{tag}.fwd.Z_{a_name}")
-                + matmul_any(x_b, self._b.u / m)
-                + eps_b
-                + xva_share
-            )
-            z_total = z_i if z_total is None else z_total + z_i
+            if local(a_name):
+                state = self._a[a_name]
+                x_a = x_by_party[a_name]
+                if train:
+                    state.x_cache = x_a
+                # Pairwise Figure 6 forward, with B contributing U_B / M.
+                ct_a = x_a @ state.enc_v_own
+                eps_a = he2ss_split(
+                    ct_a, a, "B", ch, f"{tag}.fwd.XV_{a_name}", cfg.mask_scale
+                )
+            if local("B"):
+                ct_b = x_b @ self._b.enc_v_b[a_name]
+                eps_b = he2ss_split(
+                    ct_b, b, a_name, ch, f"{tag}.fwd.XVB_{a_name}", cfg.mask_scale
+                )
+            if local(a_name):
+                xvb_share = he2ss_receive(a, ch, f"{tag}.fwd.XVB_{a_name}")
+            if local("B"):
+                xva_share = he2ss_receive(b, ch, f"{tag}.fwd.XV_{a_name}")
+            if local(a_name):
+                z_a = matmul_any(x_a, state.u) + eps_a + xvb_share
+                ch.send(
+                    a_name, b.name, f"{tag}.fwd.Z_{a_name}", z_a,
+                    MessageKind.OUTPUT_SHARE,
+                )
+            if local("B"):
+                z_i = (
+                    ch.recv(b.name, f"{tag}.fwd.Z_{a_name}")
+                    + matmul_any(x_b, self._b.u / m)
+                    + eps_b
+                    + xva_share
+                )
+                z_total = z_i if z_total is None else z_total + z_i
         return z_total
 
     # ----------------------------------------------------------------- backward
 
-    def backward(self, grad_z: np.ndarray) -> None:
-        """Algorithm 3, MultiPartyMatMulBw (gradient sharing per A party)."""
-        if self._b.x_cache is None:
+    def backward(self, grad_z: np.ndarray | None) -> None:
+        """Algorithm 3, MultiPartyMatMulBw (gradient sharing per A party).
+
+        ``grad_z`` is only meaningful where B is local (the loss gradient
+        exists at B); pass ``None`` on A-only endpoints.
+        """
+        local = self.ctx.is_local
+        if local("B"):
+            if self._b.x_cache is None:
+                raise RuntimeError("backward before forward")
+        elif any(s.x_cache is None for s in self._a.values()):
             raise RuntimeError("backward before forward")
         tag = f"{self.name}.{self._step}"
         cfg, ch = self._cfg, self.ctx.channel
         b = self.ctx.B
-        grad_z = np.asarray(grad_z, dtype=np.float64).reshape(-1, self.out_dim)
-        enc_gz = CryptoTensor.encrypt(b.public_key, grad_z, obfuscate=True)
-        self._pending_b = {"gw_b": t_matmul_any(self._b.x_cache, grad_z), "shares": {}}
+        if local("B"):
+            grad_z = np.asarray(grad_z, dtype=np.float64).reshape(
+                -1, self.out_dim
+            )
+            enc_gz = CryptoTensor.encrypt(b.public_key, grad_z, obfuscate=True)
+            self._pending_b = {
+                "gw_b": t_matmul_any(self._b.x_cache, grad_z),
+                "shares": {},
+            }
+        else:
+            self._pending_b = {}
         self._pending_a: dict[str, np.ndarray] = {}
         for a_name in self.ctx.a_names:
             a = self.ctx.parties[a_name]
-            state = self._a[a_name]
-            ch.send(b.name, a_name, f"{tag}.bwd.gZ_{a_name}", enc_gz, MessageKind.CIPHERTEXT)
-            enc_gz_at_a = ch.recv(a_name, f"{tag}.bwd.gZ_{a_name}")
-            if isinstance(state.x_cache, CSRMatrix):
-                from repro.crypto.crypto_tensor import sparse_t_matmul_cipher
+            if local("B"):
+                ch.send(
+                    b.name, a_name, f"{tag}.bwd.gZ_{a_name}", enc_gz,
+                    MessageKind.CIPHERTEXT,
+                )
+            if local(a_name):
+                state = self._a[a_name]
+                enc_gz_at_a = ch.recv(a_name, f"{tag}.bwd.gZ_{a_name}")
+                if isinstance(state.x_cache, CSRMatrix):
+                    from repro.crypto.crypto_tensor import sparse_t_matmul_cipher
 
-                enc_gw = sparse_t_matmul_cipher(state.x_cache, enc_gz_at_a)
-            else:
-                enc_gw = np.asarray(state.x_cache).T @ enc_gz_at_a
-            phi = he2ss_split(
-                enc_gw, a, "B", ch, f"{tag}.bwd.gW_{a_name}", cfg.grad_mask_scale
-            )
-            self._pending_b["shares"][a_name] = he2ss_receive(
-                b, ch, f"{tag}.bwd.gW_{a_name}"
-            )
-            self._pending_a[a_name] = phi
+                    enc_gw = sparse_t_matmul_cipher(state.x_cache, enc_gz_at_a)
+                else:
+                    enc_gw = np.asarray(state.x_cache).T @ enc_gz_at_a
+                phi = he2ss_split(
+                    enc_gw, a, "B", ch, f"{tag}.bwd.gW_{a_name}",
+                    cfg.grad_mask_scale,
+                )
+                self._pending_a[a_name] = phi
+            if local("B"):
+                self._pending_b["shares"][a_name] = he2ss_receive(
+                    b, ch, f"{tag}.bwd.gW_{a_name}"
+                )
 
     def apply_updates(self, lr: float, momentum: float) -> None:
-        if not getattr(self, "_pending_a", None):
+        if not (
+            getattr(self, "_pending_a", None) or getattr(self, "_pending_b", None)
+        ):
             return
         tag = f"{self.name}.{self._step}"
         b, ch = self.ctx.B, self.ctx.channel
+        local = self.ctx.is_local
         for a_name in self.ctx.a_names:
-            state = self._a[a_name]
+            if local(a_name):
+                state = self._a[a_name]
+                _momentum_update(
+                    state.u, state.vel_u, self._pending_a[a_name], lr,
+                    momentum, None,
+                )
+            if local("B"):
+                _momentum_update(
+                    self._b.v_a[a_name],
+                    self._b.vel_v_a[a_name],
+                    self._pending_b["shares"][a_name],
+                    lr,
+                    momentum,
+                    None,
+                )
+                fresh = CryptoTensor.encrypt(
+                    b.public_key, self._b.v_a[a_name], obfuscate=True
+                )
+                ch.send(
+                    b.name, a_name, f"{tag}.upd.encV_{a_name}", fresh,
+                    MessageKind.CIPHERTEXT,
+                )
+            if local(a_name):
+                state = self._a[a_name]
+                state.enc_v_own = ch.recv(a_name, f"{tag}.upd.encV_{a_name}")
+        if local("B"):
             _momentum_update(
-                state.u, state.vel_u, self._pending_a[a_name], lr, momentum, None
+                self._b.u, self._b.vel_u, self._pending_b["gw_b"], lr,
+                momentum, None,
             )
-            _momentum_update(
-                self._b.v_a[a_name],
-                self._b.vel_v_a[a_name],
-                self._pending_b["shares"][a_name],
-                lr,
-                momentum,
-                None,
-            )
-            fresh = CryptoTensor.encrypt(
-                b.public_key, self._b.v_a[a_name], obfuscate=True
-            )
-            ch.send(
-                b.name, a_name, f"{tag}.upd.encV_{a_name}", fresh, MessageKind.CIPHERTEXT
-            )
-            state.enc_v_own = ch.recv(a_name, f"{tag}.upd.encV_{a_name}")
-        _momentum_update(
-            self._b.u, self._b.vel_u, self._pending_b["gw_b"], lr, momentum, None
-        )
         self.zero_pending()
 
     def zero_pending(self) -> None:
@@ -237,8 +318,32 @@ class MultiPartyMatMulSource(SourceLayer):
         )
         return params
 
+    def local_weight_pieces(self) -> dict[str, np.ndarray]:
+        """This endpoint's plaintext weight pieces, keyed for reassembly.
+
+        ``A(i)`` contributes ``U_{A(i)}`` and ``VB_{A(i)}``; B contributes
+        ``U_B`` and every ``V_{A(i)}``.  A *test-side* global observer can
+        reassemble ``W_{A(i)} = U_{A(i)} + V_{A(i)}`` and ``W_B = U_B +
+        sum_i VB_{A(i)}`` by pooling the pieces of all endpoints — no
+        single endpoint ever holds both pieces of a weight.
+        """
+        out: dict[str, np.ndarray] = {}
+        for a_name, state in self._a.items():
+            out[f"U_{a_name}"] = np.array(state.u)
+            out[f"VB_{a_name}"] = np.array(state.v_b)
+        if self._b is not None:
+            out["U_B"] = np.array(self._b.u)
+            for a_name, v_a in self._b.v_a.items():
+                out[f"V_{a_name}"] = np.array(v_a)
+        return out
+
     def reveal_weights(self) -> dict[str, np.ndarray]:
-        """TEST/DEBUG ONLY — global-observer reconstruction."""
+        """TEST/DEBUG ONLY — global-observer reconstruction (all-local)."""
+        if self._b is None or len(self._a) != len(self.ctx.a_names):
+            raise RuntimeError(
+                "reveal_weights needs every party local; on a fabric "
+                "endpoint pool local_weight_pieces() across endpoints"
+            )
         out = {
             f"W_{a}": self._a[a].u + self._b.v_a[a] for a in self.ctx.a_names
         }
@@ -252,6 +357,8 @@ class MultiPartyLR:
     A thin model wrapper around :class:`MultiPartyMatMulSource` with a bias
     term at Party B, exposing the same forward/backward/step cadence as the
     two-party models (see ``examples/multiparty_lr.py`` for the loop).
+    Loss, labels and bias live at Party B only: on endpoints where B is
+    remote, :meth:`forward` and :meth:`train_step` return ``None``.
     """
 
     def __init__(self, ctx: VFLContext, in_dims: dict[str, int], in_b: int):
@@ -260,31 +367,40 @@ class MultiPartyLR:
         self.bias = 0.0
         self._vel_bias = 0.0
 
-    def forward(self, x_by_party: dict[str, object], train: bool = True) -> np.ndarray:
+    def forward(
+        self, x_by_party: dict[str, object], train: bool = True
+    ) -> np.ndarray | None:
         """Logits at Party B for an aligned multi-party batch."""
-        return self.source.forward(x_by_party, train=train) + self.bias
+        z = self.source.forward(x_by_party, train=train)
+        if z is None:  # non-B endpoint: logits only materialise at B
+            return None
+        return z + self.bias
 
     def train_step(
         self,
         x_by_party: dict[str, object],
-        labels: np.ndarray,
+        labels: np.ndarray | None,
         lr: float,
         momentum: float = 0.9,
-    ) -> float:
-        """One BCE step; returns the training loss."""
+    ) -> float | None:
+        """One BCE step; returns the training loss (``None`` off Party B)."""
         logits = self.forward(x_by_party, train=True)
-        y = np.asarray(labels, dtype=np.float64).reshape(logits.shape)
-        probs = 1.0 / (1.0 + np.exp(-np.clip(logits, -60, 60)))
-        loss = float(
-            np.mean(
-                np.maximum(logits, 0)
-                - logits * y
-                + np.log1p(np.exp(-np.abs(logits)))
+        loss = None
+        grad_z = None
+        if logits is not None:
+            y = np.asarray(labels, dtype=np.float64).reshape(logits.shape)
+            probs = 1.0 / (1.0 + np.exp(-np.clip(logits, -60, 60)))
+            loss = float(
+                np.mean(
+                    np.maximum(logits, 0)
+                    - logits * y
+                    + np.log1p(np.exp(-np.abs(logits)))
+                )
             )
-        )
-        grad_z = (probs - y) / y.shape[0]
+            grad_z = (probs - y) / y.shape[0]
         self.source.backward(grad_z)
         self.source.apply_updates(lr, momentum)
-        self._vel_bias = momentum * self._vel_bias + float(grad_z.sum())
-        self.bias -= lr * self._vel_bias
+        if grad_z is not None:
+            self._vel_bias = momentum * self._vel_bias + float(grad_z.sum())
+            self.bias -= lr * self._vel_bias
         return loss

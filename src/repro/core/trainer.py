@@ -78,6 +78,15 @@ class TrainConfig:
     ``"jsonl"``/``"chrome"`` also export to ``telemetry_path``.  ``None``
     (or ``"off"``) is the default: no tracer is installed and every
     instrumentation site short-circuits on one ``is None`` check.
+    ``pipeline`` enables async sends on fabric channels for the run (see
+    :meth:`~repro.comm.fabric.FabricChannel.set_pipeline`): batch ``k``'s
+    outbound frames are still in flight while batch ``k + 1`` encrypts
+    and packs.  Determinism contract: pipelining reorders *wall-clock*
+    only — frame order and content are untouched, so seeded trajectories
+    (losses, weights, transcripts) stay bit-identical with the knob on or
+    off; it defaults off so the blocking tier remains the reference.  On
+    channels without a pipeline (the in-process tiers, the mirrored
+    socket tier) the knob is a no-op.
     """
 
     epochs: int = 10
@@ -95,6 +104,7 @@ class TrainConfig:
     crash_after_batches: int | None = None
     telemetry: str | None = None
     telemetry_path: str | None = None
+    pipeline: bool = False
 
 
 @dataclass
@@ -157,6 +167,8 @@ def train_federated(
         _set_channel(model, config.channel)
     if config.blinding_lambda is not None:
         _set_blinding_lambda(model, config.blinding_lambda)
+    if config.pipeline:
+        _set_pipeline(model, True)
     start_epoch, resume_order, resume_batch = 0, None, 0
     if resume_from is not None:
         sections = load_checkpoint(resume_from, key_ring=model_key_ring(model))
@@ -271,6 +283,20 @@ def _set_channel(model: FederatedModule, kind: str) -> None:
         ctx.set_channel(
             make_channel(kind, record_transcript=ctx.config.record_transcript)
         )
+
+
+def _set_pipeline(model: FederatedModule, on: bool) -> None:
+    """Toggle async sends on every fabric channel the model trains over.
+
+    Channels without a pipeline (the in-process tiers, the mirrored
+    socket tier) are left untouched — the knob only changes *when* frames
+    hit the wire, never their order or content, so it is safe to apply
+    blindly across heterogeneous contexts.
+    """
+    for ctx in model.federation_contexts():
+        set_pipeline = getattr(ctx.channel, "set_pipeline", None)
+        if set_pipeline is not None:
+            set_pipeline(on)
 
 
 def _set_blinding_lambda(model: FederatedModule, blinding_lambda: int) -> None:

@@ -7,6 +7,13 @@ computation-vs-communication table.  Depends only on ``repro.utils`` so
 crypto, comm, and core can all import it without cycles.
 """
 
+from repro.obs.collect import (
+    chrome_timeline,
+    cross_role_overlap,
+    merge_traces,
+    read_jsonl_trace,
+    write_chrome_timeline,
+)
 from repro.obs.report import fold_trace, format_report, report_json, write_report
 from repro.obs.sinks import (
     TELEMETRY_KINDS,
@@ -50,4 +57,9 @@ __all__ = [
     "format_report",
     "report_json",
     "write_report",
+    "read_jsonl_trace",
+    "merge_traces",
+    "chrome_timeline",
+    "write_chrome_timeline",
+    "cross_role_overlap",
 ]

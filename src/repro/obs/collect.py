@@ -1,0 +1,187 @@
+"""Cross-endpoint trace collector: N per-role JSONL traces, one timeline.
+
+Every fabric endpoint traces into its own process-local sink (see
+:mod:`repro.obs.sinks`), so a federation run leaves one JSONL file per
+role.  This module merges them into a single namespaced trace and renders
+it as one Chrome/Perfetto timeline with **one process lane per endpoint**
+— which is what makes cross-party overlap visible: with pipelining on,
+an A endpoint's ``batch k+1`` span sits directly above the key owner's
+still-running ``batch k`` span.
+
+Span ids are only unique *within* one tracer, so merging namespaces both
+``id`` and ``parent`` as ``"<role>:<id>"`` — the role prefix is the
+endpoint's name in the federation topology, making every merged span id
+globally unique by construction (a collision inside one role's trace is
+corrupt input and raises).
+
+Clock caveat: span timestamps come from ``time.perf_counter``, which on
+Linux is ``CLOCK_MONOTONIC`` — a *shared* clock across processes on one
+host, so fabric endpoints (all local OS processes) land on one comparable
+axis.  On platforms where ``perf_counter`` is per-process, cross-role
+offsets are meaningless and only within-role ordering holds.
+"""
+
+from __future__ import annotations
+
+import json
+
+__all__ = [
+    "read_jsonl_trace",
+    "merge_traces",
+    "chrome_timeline",
+    "write_chrome_timeline",
+    "cross_role_overlap",
+]
+
+
+def read_jsonl_trace(path: str) -> list[dict]:
+    """Load one endpoint's JSONL trace (one span dict per line)."""
+    spans: list[dict] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line_no, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                span = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(
+                    f"{path}:{line_no}: not a JSON span record ({exc})"
+                ) from None
+            if not isinstance(span, dict) or "id" not in span:
+                raise ValueError(
+                    f"{path}:{line_no}: span record has no 'id' field"
+                )
+            spans.append(span)
+    return spans
+
+
+def merge_traces(traces: dict[str, list[dict]]) -> list[dict]:
+    """Merge per-role span lists into one role-namespaced trace.
+
+    ``traces`` maps each role (endpoint name) to its span dicts, e.g.
+    ``{role: read_jsonl_trace(path) for role, path in files.items()}``.
+    Every span gains a ``"role"`` key, and ``id``/``parent`` are rewritten
+    to ``"<role>:<id>"`` so ids from different endpoints can never
+    collide.  A duplicate id *within* one role's trace raises — that is a
+    corrupt input file, not a mergeable trace.  Spans are ordered by
+    ``t_start`` across all roles (the shared-monotonic-clock axis).
+    """
+    merged: list[dict] = []
+    for role, spans in sorted(traces.items()):
+        seen: set = set()
+        for span in spans:
+            sid = span["id"]
+            if sid in seen:
+                raise ValueError(
+                    f"role {role!r} trace has duplicate span id {sid!r} — "
+                    f"corrupt input (ids are unique within one tracer)"
+                )
+            seen.add(sid)
+            out = dict(span)
+            out["role"] = role
+            out["id"] = f"{role}:{sid}"
+            if out.get("parent") is not None:
+                out["parent"] = f"{role}:{out['parent']}"
+            merged.append(out)
+    merged.sort(key=lambda s: (s.get("t_start", 0.0), s["id"]))
+    return merged
+
+
+def chrome_timeline(merged: list[dict]) -> dict:
+    """Render a merged trace as Chrome trace-event JSON, one pid per role.
+
+    Each role becomes its own process lane (``pid``), named via a
+    ``process_name`` metadata event; parties within a role keep the
+    per-``tid`` thread lanes of the single-process
+    :class:`~repro.obs.sinks.ChromeTraceSink`.  Timestamps stay on the
+    shared ``perf_counter`` axis (µs), so spans of different endpoints
+    align — overlap between an A endpoint's encrypt and the key owner's
+    in-flight transfer is directly visible.
+    """
+    pids: dict[str, int] = {}
+    tids: dict[tuple[str, str], int] = {}
+    events: list[dict] = []
+    for span in merged:
+        role = span.get("role", "-")
+        if role not in pids:
+            pids[role] = len(pids)
+        party = span.get("party") or "-"
+        tkey = (role, party)
+        if tkey not in tids:
+            tids[tkey] = sum(1 for r, _ in tids if r == role)
+        args = dict(span.get("attrs") or {})
+        args.update(span.get("counters") or {})
+        args["span_id"] = span["id"]
+        events.append(
+            {
+                "name": span.get("phase", "?"),
+                "cat": span.get("party") or "span",
+                "ph": "X",
+                "ts": span.get("t_start", 0.0) * 1e6,
+                "dur": span.get("dur_s", 0.0) * 1e6,
+                "pid": pids[role],
+                "tid": tids[tkey],
+                "args": args,
+            }
+        )
+    metadata = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": 0,
+            "args": {"name": role},
+        }
+        for role, pid in pids.items()
+    ] + [
+        {
+            "name": "thread_name",
+            "ph": "M",
+            "pid": pids[role],
+            "tid": tid,
+            "args": {"name": party},
+        }
+        for (role, party), tid in tids.items()
+    ]
+    return {"traceEvents": metadata + events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_timeline(path: str, merged: list[dict]) -> None:
+    """Write :func:`chrome_timeline` output to ``path``."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(chrome_timeline(merged), fh)
+
+
+def cross_role_overlap(
+    merged: list[dict], phase: str = "batch"
+) -> float:
+    """Seconds during which ``phase`` spans of *different* roles overlap.
+
+    The pipelining evidence metric: with async sends off, one endpoint's
+    ``batch`` span ends (its frames acked at the protocol level) before
+    the next endpoint's work proceeds in lockstep, so cross-role overlap
+    of compute-heavy phases is near total for concurrent protocols and
+    the interesting comparison is between *specific* batches — use the
+    span ``attrs`` for that.  This helper answers the coarse question:
+    total wall-clock where at least two roles had a ``phase`` span open
+    simultaneously.
+    """
+    edges: list[tuple[float, int, str]] = []
+    for span in merged:
+        if span.get("phase") != phase:
+            continue
+        start = float(span.get("t_start", 0.0))
+        edges.append((start, +1, span.get("role", "-")))
+        edges.append((start + float(span.get("dur_s", 0.0)), -1, span.get("role", "-")))
+    edges.sort(key=lambda e: (e[0], -e[1]))
+    open_by_role: dict[str, int] = {}
+    overlap = 0.0
+    prev_t: float | None = None
+    for t, delta, role in edges:
+        active_roles = sum(1 for n in open_by_role.values() if n > 0)
+        if prev_t is not None and active_roles >= 2:
+            overlap += t - prev_t
+        open_by_role[role] = open_by_role.get(role, 0) + delta
+        prev_t = t
+    return overlap

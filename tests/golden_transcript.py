@@ -28,6 +28,7 @@ from repro.comm.codec import message_summary
 from repro.comm.party import VFLConfig, VFLContext
 from repro.core.embed_matmul_layer import EmbedMatMulSource
 from repro.core.matmul_layer import MatMulSource
+from repro.core.multiparty import MultiPartyMatMulSource
 
 GOLDEN_PATH = Path(__file__).parent / "data" / "protocol_golden.json"
 
@@ -68,6 +69,32 @@ def _embed_step(key_bits: int, packing: bool, share_refresh: str) -> VFLContext:
     return ctx
 
 
+def _multiparty_step(key_bits: int) -> VFLContext:
+    """One step of the Appendix C layer — the non-mirrored fabric protocol.
+
+    Recorded all-local on the serializing tier, which produces the exact
+    per-(sender, receiver) message schedule every fabric endpoint must
+    reproduce: a fabric run's transcripts are compared against this
+    golden *per pair* (cross-sender arrival order at the key owner is
+    scheduling-dependent; per-pair FIFO order is part of the protocol).
+    """
+    cfg = VFLConfig(key_bits=key_bits, channel="serializing")
+    ctx = VFLContext(cfg, seed=77, n_a_parties=2)
+    layer = MultiPartyMatMulSource(
+        ctx, {"A1": 3, "A2": 2}, in_b=2, out_dim=2, name="gm"
+    )
+    rng = np.random.default_rng(13)
+    x = {
+        "A1": rng.normal(size=(3, 3)),
+        "A2": rng.normal(size=(3, 2)),
+        "B": rng.normal(size=(3, 2)),
+    }
+    layer.forward(x)
+    layer.backward(rng.normal(size=(3, 2)) * 0.1)
+    layer.apply_updates(lr=0.05, momentum=0.9)
+    return ctx
+
+
 # Packed scenarios need a key that fits at least two product slots
 # (protocol_layout falls back to per-element below ~224 bits).
 SCENARIOS = {
@@ -76,6 +103,7 @@ SCENARIOS = {
     "embed": lambda: _embed_step(128, packing=False, share_refresh="reencrypt"),
     "embed_packed": lambda: _embed_step(256, packing=True, share_refresh="reencrypt"),
     "embed_delta": lambda: _embed_step(128, packing=False, share_refresh="delta"),
+    "multiparty": lambda: _multiparty_step(128),
 }
 
 

@@ -100,7 +100,7 @@ def test_chaos_smoke_drop_corrupt_reconnect_is_bit_identical():
     )
     reference = _reference(*case)
     for role in ("guest", "host"):
-        _assert_digests_match(results[role], reference)
+        _assert_digests_match(results["results"][role], reference)
     # The recovery counters come back with the results now (no side
     # channel): the injected faults must be visible in each endpoint's
     # LinkStats, and the graceful shutdown must have exchanged FINs.
@@ -132,8 +132,8 @@ def test_kill_mid_epoch_then_resume_finishes_identically(tmp_path):
         fault_plans=plans,
     )
     for role in ("guest", "host"):
-        assert first[role]["interrupted"] is True
-        assert first[role]["checkpoint"] == f"{base}.{role}"
+        assert first["results"][role]["interrupted"] is True
+        assert first["results"][role]["checkpoint"] == f"{base}.{role}"
     # Leg 2: fresh processes, fresh sockets, resume from the checkpoints.
     second = run_two_party(
         checkpoint_train_program, (base, True, None), timeout=CHAOS_TIMEOUT
@@ -143,10 +143,12 @@ def test_kill_mid_epoch_then_resume_finishes_identically(tmp_path):
     reference = _reference("lr", True, 128, "reencrypt", 2, 16)
     assert len(reference["losses"]) == 6
     for role in ("guest", "host"):
-        assert second[role]["losses"] == reference["losses"]
-        assert set(second[role]["weights"]) == set(reference["weights"])
+        assert second["results"][role]["losses"] == reference["losses"]
+        assert set(second["results"][role]["weights"]) == set(reference["weights"])
         for name, value in reference["weights"].items():
-            np.testing.assert_array_equal(second[role]["weights"][name], value)
+            np.testing.assert_array_equal(
+                second["results"][role]["weights"][name], value
+            )
 
 
 # ---------------------------------------------------------------------------
@@ -183,7 +185,7 @@ def test_chaos_grid_trains_bit_identically(
     )
     reference = _reference(*case)
     for role in ("guest", "host"):
-        _assert_digests_match(results[role], reference)
+        _assert_digests_match(results["results"][role], reference)
 
 
 @pytest.mark.chaos
@@ -200,7 +202,9 @@ def test_chaos_kill_and_resume_under_faults(tmp_path):
         checkpoint_train_program, (base, False, 4), timeout=GRID_TIMEOUT,
         sock_timeout=0.5, retry=_chaos_retry(), fault_plans=plans,
     )
-    assert all(first[role]["interrupted"] for role in ("guest", "host"))
+    assert all(
+        first["results"][role]["interrupted"] for role in ("guest", "host")
+    )
     resume_plans = {
         "guest": FaultPlan.seeded(23, frames=400, drop_rate=0.05,
                                   corrupt_rate=0.05),
@@ -213,6 +217,8 @@ def test_chaos_kill_and_resume_under_faults(tmp_path):
     )
     reference = _reference("lr", True, 128, "reencrypt", 2, 16)
     for role in ("guest", "host"):
-        assert second[role]["losses"] == reference["losses"]
+        assert second["results"][role]["losses"] == reference["losses"]
         for name, value in reference["weights"].items():
-            np.testing.assert_array_equal(second[role]["weights"][name], value)
+            np.testing.assert_array_equal(
+                second["results"][role]["weights"][name], value
+            )

@@ -94,6 +94,53 @@ def test_payload_nbytes_variants(ctx):
     assert payload_nbytes(enc, cipher_bytes=512) == 512
 
 
+def test_payload_nbytes_numpy_scalars():
+    """Regression: numpy scalars are priced at their storage width.
+
+    ``np.int64`` is *not* a Python ``int`` subclass, so an integer that
+    came off an ndarray (``arr[0]``, ``arr.sum()``) used to fall through
+    every branch and raise the unpriceable-payload TypeError."""
+    assert payload_nbytes(np.int64(7)) == 8
+    assert payload_nbytes(np.int32(7)) == 4
+    assert payload_nbytes(np.float64(1.5)) == 8
+    assert payload_nbytes(np.float32(1.5)) == 4
+    assert payload_nbytes(np.bool_(True)) == 1
+    # The exact shapes that bit in practice: values plucked off arrays.
+    arr = np.arange(5, dtype=np.int64)
+    assert payload_nbytes(arr[0]) == 8
+    assert payload_nbytes(arr.sum()) == 8
+    assert payload_nbytes([arr[0], arr[1]]) == 16
+
+
+def test_payload_nbytes_dicts():
+    """Regression: the codec carries dict containers, so the estimator
+    must price them (sum of keys + values) instead of raising."""
+    assert payload_nbytes({}) == 0
+    assert payload_nbytes({"k": 1.0}) == 1 + 8
+    assert payload_nbytes({"w": np.ones(3), "step": np.int64(2)}) == (
+        1 + 24 + 4 + 8
+    )
+    # Nested containers recurse.
+    assert payload_nbytes({"a": [1.0, 2.0]}) == 1 + 16
+    with pytest.raises(TypeError, match="cannot price"):
+        payload_nbytes({"bad": object()})
+
+
+def test_bytes_by_sender_probe_does_not_mutate_ledger():
+    """Regression: the ledger was a ``defaultdict(int)``, so a
+    reconciliation probe of a never-sent party *planted a zero entry on
+    read* — masking a missing sender from byte-equality checks."""
+    ch = Channel()
+    ch.send("A", "B", "t", 1.0, MessageKind.PUBLIC)
+    assert "B" not in ch.bytes_by_sender
+    with pytest.raises(KeyError):
+        ch.bytes_by_sender["B"]  # probing must not invent a zero entry
+    assert "B" not in ch.bytes_by_sender
+    assert ch.bytes_by_sender.get("B", 0) == 0
+    assert set(ch.bytes_by_sender) == {"A"}
+    ch.recv("B")
+
+
 def test_payload_nbytes_production_key_is_512():
     """At the paper's 2048-bit deployment keys the old constant is exact."""
     from repro.crypto.paillier import EncryptedNumber, PaillierPublicKey

@@ -396,7 +396,7 @@ def traced_socket_program(channel):
 def test_socket_run_traced_counters_reconcile_exactly():
     results = run_two_party(traced_socket_program, (), timeout=SOCKET_TIMEOUT)
     for role in ("guest", "host"):
-        r = results[role]
+        r = results["results"][role]
         totals = r["totals"]
         assert r["n_spans"] > 0
         # Byte reconciliation: traced == channel accounting == real frames.
@@ -418,4 +418,7 @@ def test_socket_run_traced_counters_reconcile_exactly():
     assert set(stats) == {"guest", "host"}
     for role in ("guest", "host"):
         assert stats[role]["fins"] >= 1
-        assert stats[role]["data_sent"] >= results[role]["link_after"]["data_sent"]
+        assert (
+            stats[role]["data_sent"]
+            >= results["results"][role]["link_after"]["data_sent"]
+        )

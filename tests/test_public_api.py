@@ -25,6 +25,7 @@ SURFACES = {
     ],
     "repro.comm": [
         "Channel", "Message", "MessageKind", "Party", "VFLConfig", "VFLContext",
+        "FabricChannel", "FabricTopology", "run_federation",
     ],
     "repro.core": [
         "MatMulSource", "EmbedMatMulSource", "MultiPartyMatMulSource",

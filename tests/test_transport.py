@@ -141,7 +141,7 @@ def test_two_process_socket_smoke_matches_serializing_run():
     reference = _reference(*case)
     assert reference["n_messages"] > 0 and reference["total_bytes"] > 0
     for role in ("guest", "host"):
-        _assert_digests_match(results[role], reference)
+        _assert_digests_match(results["results"][role], reference)
 
 
 def test_serializing_drop_in_matches_memory_bit_for_bit():
@@ -320,7 +320,7 @@ def test_two_process_training_grid(model_kind, packing, key_bits, share_refresh)
     results = run_two_party(train_program, case, timeout=NET_TIMEOUT)
     reference = _reference(*case)
     for role in ("guest", "host"):
-        _assert_digests_match(results[role], reference)
+        _assert_digests_match(results["results"][role], reference)
 
 
 @pytest.mark.net
@@ -330,4 +330,4 @@ def test_two_process_quickstart_sized_packed_matmul():
     results = run_two_party(train_program, case, timeout=NET_TIMEOUT)
     reference = _reference(*case)
     for role in ("guest", "host"):
-        _assert_digests_match(results[role], reference)
+        _assert_digests_match(results["results"][role], reference)
