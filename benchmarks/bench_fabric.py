@@ -10,7 +10,14 @@ fabric's two claims, gated by ``run_bench.check_fabric``:
 * **clean links** — every per-peer ledger counts zero recovery traffic
   (loopback, fault-free), envelope bytes are exactly ``ENV_OVERHEAD``
   per DATA frame, and the grid is a star: Party A endpoints only ever
-  link to the key owner.
+  link to the key owner;
+* **chaos survival** — a third run injects a deterministic
+  drop+corrupt+duplicate schedule on the one A1→B link: delivery stays
+  100% (sender's logical frames == receiver's accepted frames), losses
+  and weight pieces stay bit-identical to the all-local reference, the
+  faulted link's ledgers show the recovery actually happened
+  (NAKs, retransmits, dropped corruption/duplicates all nonzero), and
+  the untouched A2↔B link still counts zero recovery traffic.
 
 Wall clock and the cross-role batch-overlap seconds (from the merged
 per-endpoint traces, see :mod:`repro.obs.collect`) are informational —
@@ -36,6 +43,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.comm.fabric import run_federation
+from repro.comm.faults import FaultEvent, FaultPlan
 from repro.comm.party import VFLConfig, VFLContext
 from repro.comm.transport import ENV_OVERHEAD
 from repro.core.multiparty import MultiPartyLR
@@ -51,6 +59,21 @@ IN_DIMS = {"A1": 4, "A2": 3}
 IN_B = 3
 N_ROWS = 16
 LR = 0.1
+
+# Chaos row: a fixed fault schedule on the one A1→B direction.  Explicit
+# events rather than seeded rates — the quick run pushes only a handful
+# of frames down that link, and the row is gated on every fault class
+# visibly firing *and* recovering.
+FAULT_PLANS = {
+    ("ep_a1", "ep_b"): FaultPlan(
+        events=(
+            FaultEvent(2, "corrupt"),
+            FaultEvent(4, "drop"),
+            FaultEvent(6, "duplicate"),
+        )
+    )
+}
+FAULT_SOCK_TIMEOUT = 0.5
 
 
 def _data():
@@ -105,7 +128,13 @@ def _reference(steps: int):
     return losses, model.source.local_weight_pieces()
 
 
-def _fabric_run(steps: int, pipeline: bool, trace_dir: str | None) -> dict:
+def _fabric_run(
+    steps: int,
+    pipeline: bool,
+    trace_dir: str | None,
+    fault_plans: dict | None = None,
+    sock_timeout: float | None = None,
+) -> dict:
     start = time.perf_counter()
     out = run_federation(
         fabric_program,
@@ -113,6 +142,8 @@ def _fabric_run(steps: int, pipeline: bool, trace_dir: str | None) -> dict:
         roles=GRID,
         timeout=FABRIC_TIMEOUT,
         pipeline=pipeline,
+        fault_plans=fault_plans,
+        sock_timeout=sock_timeout,
     )
     wall = time.perf_counter() - start
     results = out["results"]
@@ -135,6 +166,13 @@ def run(quick: bool = False) -> dict:
     blocking = _fabric_run(steps, pipeline=False, trace_dir=None)
     trace_dir = tempfile.mkdtemp(prefix="bench_fabric_")
     pipelined = _fabric_run(steps, pipeline=True, trace_dir=trace_dir)
+    faulted = _fabric_run(
+        steps,
+        pipeline=False,
+        trace_dir=None,
+        fault_plans=FAULT_PLANS,
+        sock_timeout=FAULT_SOCK_TIMEOUT,
+    )
     traces = {
         role: read_jsonl_trace(os.path.join(trace_dir, f"{role}.jsonl"))
         for role in GRID
@@ -160,6 +198,11 @@ def run(quick: bool = False) -> dict:
             "steps": steps,
             "grid": {role: list(parties) for role, parties in GRID.items()},
             "env_overhead": ENV_OVERHEAD,
+            "faulted_link": ["ep_a1", "ep_b"],
+            "fault_schedule": [
+                [ev.frame, ev.action]
+                for ev in FAULT_PLANS[("ep_a1", "ep_b")].events
+            ],
             "python": platform.python_version(),
             "machine": platform.machine(),
             "cpu_count": os.cpu_count(),
@@ -167,6 +210,7 @@ def run(quick: bool = False) -> dict:
         "memory_losses": ref_losses,
         "blocking": summarise(blocking),
         "pipelined": summarise(pipelined),
+        "faulted": summarise(faulted),
         "overlap_s": overlap_s,
         "n_spans_merged": len(merged),
     }
@@ -182,7 +226,7 @@ def main(argv: list[str] | None = None) -> int:
     results = run(quick=args.quick)
     args.out.write_text(json.dumps(results, indent=2) + "\n")
     print(f"wrote {args.out}")
-    for mode in ("blocking", "pipelined"):
+    for mode in ("blocking", "pipelined", "faulted"):
         row = results[mode]
         b_stats = row["link_stats"]["ep_b"]
         frames = sum(s["data_sent"] + s["data_received"] for s in b_stats.values())
@@ -192,6 +236,13 @@ def main(argv: list[str] | None = None) -> int:
             f"pieces_match={row['pieces_match_memory']}, "
             f"{frames} frames through the key owner"
         )
+    a1 = results["faulted"]["link_stats"]["ep_a1"]["ep_b"]
+    b = results["faulted"]["link_stats"]["ep_b"]["ep_a1"]
+    print(
+        f"faulted A1->B recovery: {a1['retransmits']} retransmits / "
+        f"{b['naks_sent']} NAKs / {b['corrupt_dropped']} corrupt + "
+        f"{b['duplicates_dropped']} duplicates dropped"
+    )
     print(
         f"cross-role batch overlap (pipelined, informational): "
         f"{results['overlap_s'] * 1e3:.1f}ms over {results['n_spans_merged']} spans"

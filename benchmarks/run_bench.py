@@ -417,6 +417,15 @@ def check_fabric(results: dict | None = None) -> dict:
     counts zero recovery traffic with exactly ``ENV_OVERHEAD`` envelope
     bytes per DATA frame and zero extra frames; and the link grid is a
     star around the key owner (A endpoints never dial each other).
+
+    The ``faulted`` row (deterministic drop+corrupt+duplicate schedule
+    on the A1→B direction) is gated on the chaos contract instead:
+    losses/pieces still bit-identical to memory, 100% delivery in both
+    directions of every link (logical frames sent == frames accepted),
+    the faulted link's ledgers showing the recovery visibly happened
+    (receiver dropped corruption and duplicates and sent NAKs, sender
+    retransmitted), and the untouched A2↔B link still counting zero
+    recovery traffic.
     """
     if results is None:
         results = bench_fabric.run(quick=True)
@@ -477,6 +486,68 @@ def check_fabric(results: dict | None = None) -> dict:
             "pipelined losses diverged from blocking losses — async sends "
             "reordered protocol frames"
         )
+    faulted = results.get("faulted")
+    if faulted is None:
+        failures.append("no faulted row — the chaos run never happened")
+    else:
+        if not faulted["losses_match_memory"]:
+            failures.append(
+                f"faulted: losses {faulted['losses']} != memory reference "
+                f"{results['memory_losses']} — recovery was not bit-exact"
+            )
+        if not faulted["pieces_match_memory"]:
+            failures.append(
+                "faulted: pooled weight pieces diverged from the all-local "
+                "model — recovery lost or reordered a frame's effect"
+            )
+        stats = faulted["link_stats"]
+        for role, per_peer in stats.items():
+            expected_peers = (
+                {"ep_a1", "ep_a2"} if role == "ep_b" else {"ep_b"}
+            )
+            if set(per_peer) != expected_peers:
+                failures.append(
+                    f"faulted {role}: links to {sorted(per_peer)} != "
+                    f"{sorted(expected_peers)} — the grid is not a star"
+                )
+        # 100% delivery on every direction of every link: each logical
+        # frame sent was accepted exactly once at the far end.
+        for sender, receiver in (
+            ("ep_a1", "ep_b"), ("ep_b", "ep_a1"),
+            ("ep_a2", "ep_b"), ("ep_b", "ep_a2"),
+        ):
+            sent = stats[sender][receiver]["data_sent"]
+            got = stats[receiver][sender]["data_received"]
+            if sent != got:
+                failures.append(
+                    f"faulted {sender}->{receiver}: {sent} frames sent but "
+                    f"{got} accepted — delivery is not 100%"
+                )
+        # The injected faults must visibly fire and recover on the one
+        # scheduled direction...
+        a1 = stats["ep_a1"]["ep_b"]
+        b = stats["ep_b"]["ep_a1"]
+        for label, ledger, counter in (
+            ("ep_b<-ep_a1 receiver", b, "corrupt_dropped"),
+            ("ep_b<-ep_a1 receiver", b, "duplicates_dropped"),
+            ("ep_b<-ep_a1 receiver", b, "naks_sent"),
+            ("ep_a1->ep_b sender", a1, "retransmits"),
+            ("ep_a1->ep_b sender", a1, "naks_received"),
+        ):
+            if ledger[counter] < 1:
+                failures.append(
+                    f"faulted {label}: {counter}=0 — the scheduled fault "
+                    "never fired or recovery was invisible"
+                )
+        # ... while the untouched A2<->B link stays exactly clean.
+        for role, peer in (("ep_a2", "ep_b"), ("ep_b", "ep_a2")):
+            ledger = stats[role][peer]
+            for counter in FABRIC_CLEAN_ZERO:
+                if ledger[counter] != 0:
+                    failures.append(
+                        f"faulted {role}<->{peer}: {counter}="
+                        f"{ledger[counter]} != 0 on the fault-free link"
+                    )
     if failures:
         raise AssertionError(
             "the fabric determinism/clean-link contract does not hold:\n  "

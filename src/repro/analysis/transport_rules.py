@@ -9,8 +9,12 @@ a bare ``Exception``/``RuntimeError`` — forces every caller back to
 string-matching, and a recovery loop that guesses wrong either hangs on
 an unfixable failure or papers over a protocol bug.
 
-Statically checked, on ``comm/transport.py`` and ``comm/fabric.py`` (the
-N-party endpoint grid raises the same taxonomy): every ``raise`` with an
+Statically checked, on ``comm/transport.py``, ``comm/fabric.py`` (the
+N-party endpoint grid raises the same taxonomy) and ``comm/faults.py``
+(the chaos layer injects into the same recovery loops, so its failures
+must speak the same language — real socket exceptions like
+``ConnectionResetError`` for injected faults, ``ValueError`` for plan
+misconfiguration, never a catch-all): every ``raise`` with an
 explicit exception must not use ``Exception``, ``BaseException``,
 ``RuntimeError``, or the unsplit ``TransportError`` — pick a side via
 ``RetryableTransportError`` / ``FatalTransportError`` or one of their
@@ -34,8 +38,11 @@ from repro.analysis.engine import (
 )
 
 # Every module that raises into the transport taxonomy: the two-party
-# link layer and the N-party fabric built on top of it.
-TRANSPORT_SUBPATHS = frozenset({"comm/transport.py", "comm/fabric.py"})
+# link layer, the N-party fabric built on top of it, and the fault
+# injection layer whose induced failures feed the same recovery loops.
+TRANSPORT_SUBPATHS = frozenset(
+    {"comm/transport.py", "comm/fabric.py", "comm/faults.py"}
+)
 
 # Never acceptable at a transport raise site: the catch-all builtins and
 # the unsplit taxonomy base.

@@ -36,6 +36,22 @@ being prepared).  Frame *order and content* are untouched, so seeded
 trajectories stay bit-identical with the knob on or off; the default is
 off so the blocking tier remains the reference behaviour.
 
+Fault tolerance
+---------------
+Each grid link is a full :class:`~repro.comm.transport.ReliableLink`:
+per-link fault plans (``run_federation(fault_plans={(sender, receiver):
+plan})``) wrap the sender's side of a duplex socket in a
+:class:`~repro.comm.faults.FaultySocket` at dial/accept time and rebind
+it across reconnects, so a seeded chaos schedule survives the socket
+swap while hello/NAK/RESUME/FIN control traffic passes clean.  Link
+death recovers deterministically — the lower-named role redials, the
+higher-named role's acceptor hands the fresh socket to its waiting
+reconnector — and a peer that stays dead past the seeded retry budget
+surfaces as ``FatalTransportError("peer <role> unreachable ...")`` on
+both the send and receive paths instead of a hang.  The driver watches
+child liveness during startup and the result gather, so a killed
+endpoint fails the whole grid fast with the dead role named.
+
 Determinism
 -----------
 Losses and weights of a fabric run are bit-identical to the in-process
@@ -58,6 +74,7 @@ from collections import deque
 
 from repro.comm import codec
 from repro.comm.channel import CodecChannel
+from repro.comm.faults import FaultPlan, FaultySocket, per_link_plans
 from repro.comm.message import Message
 from repro.comm.transport import (
     FatalTransportError,
@@ -81,6 +98,11 @@ __all__ = [
 # Receiver threads poll their socket in short slices so close requests are
 # observed promptly; this is a scheduling knob, not a protocol timeout.
 _POLL_S = 0.25
+
+# How many poll slices the higher-named role of a pair waits for the
+# lower-named role's redial before burning one reconnect attempt — each
+# attempt of the seeded retry budget re-enters this window.
+_RECONNECT_WAIT_SLICES = 8
 
 
 class FabricTopology:
@@ -140,6 +162,7 @@ class _PipelinedSender:
         self._channel = channel
         self._queue: queue_mod.Queue = queue_mod.Queue(maxsize=depth)
         self._error: str | None = None
+        self._current: str | None = None
         self._thread = threading.Thread(
             target=self._run, name=f"fabric-tx-{channel.role}", daemon=True
         )
@@ -152,7 +175,8 @@ class _PipelinedSender:
                 if item is None:
                     return
                 peer_role, frame = item
-                self._channel._ensure_link(peer_role).send_frame(frame)
+                self._current = peer_role
+                self._channel._send_to_peer(peer_role, frame)
             except BaseException:
                 self._error = traceback.format_exc()
             finally:
@@ -169,9 +193,21 @@ class _PipelinedSender:
         self._queue.put((peer_role, frame))
 
     def stop(self) -> None:
-        """Drain every queued frame, then stop the thread."""
+        """Drain every queued frame, then stop the thread.
+
+        A sender still alive after the join means an undrained frame is
+        wedged on the wire — returning as if shutdown succeeded would let
+        a silently lossy close masquerade as a clean one, so this fails
+        fatally and names the peer whose send never completed.
+        """
         self._queue.put(None)
         self._thread.join(timeout=60.0)
+        if self._thread.is_alive():
+            raise FatalTransportError(
+                f"pipelined sender for {self._channel.role!r} failed to "
+                f"drain within 60s — send toward peer {self._current!r} "
+                f"never completed ({self._queue.qsize()} frames still queued)"
+            )
         self._check()
 
 
@@ -202,10 +238,16 @@ class FabricChannel(CodecChannel):
         timeout: float = 120.0,
         close_timeout: float = 10.0,
         pipeline: bool = False,
+        sock_timeout: float | None = None,
+        fault_plans: dict[str, FaultPlan] | None = None,
+        idle_nak_peers=None,
+        resume_from: str | None = None,
     ):
         super().__init__(record_transcript)
         if role not in topology.roles:
             raise ValueError(f"role {role!r} is not in the topology")
+        if sock_timeout is not None and sock_timeout <= 0:
+            raise ValueError("sock_timeout must be positive")
         self.role = role
         self.topology = topology
         self.local_parties = frozenset(topology.roles[role])
@@ -215,6 +257,33 @@ class FabricChannel(CodecChannel):
         self._retry = retry or RetryPolicy()
         self._timeout = timeout
         self._close_timeout = close_timeout
+        # Per-peer outbound fault schedules (this endpoint is the sender
+        # side of each faulted direction); wrappers persist across
+        # reconnects so the frame counter — and the remaining schedule —
+        # survives the socket swap.
+        self._fault_plans = dict(fault_plans or {})
+        self._fault_socks: dict[str, FaultySocket] = {}
+        # sock_timeout bounds a receiver's idle patience on fault-armed
+        # links: after that much consecutive silence it NAKs its next
+        # expected sequence number so tail-dropped frames get
+        # retransmitted.  None (the default) keeps the infinite patience
+        # that clean-link zero-counter ledgers are gated on.
+        self._idle_nak_polls = (
+            None
+            if sock_timeout is None
+            else max(1, int(sock_timeout / _POLL_S + 0.999))
+        )
+        self._idle_nak_peers = (
+            None if idle_nak_peers is None else frozenset(idle_nak_peers)
+        )
+        # Per-role checkpoint path handed down by run_federation's
+        # resume_from; programs read it to restore their local parties.
+        self.resume_from = resume_from
+        # Reconnect handoff: _admit deposits a redialled socket here for
+        # the higher-named role's waiting reconnector (guarded by _grid).
+        self._reconnect_pending: dict[str, socket.socket] = {}
+        self._awaiting_reconnect: set[str] = set()
+        self._wedged: list[str] = []
         # Link grid state, guarded by one condition: the authoritative
         # crossing-dial decision (accept vs refuse vs already-dialing) is
         # a single atomic check-and-mark under this lock.
@@ -262,7 +331,11 @@ class FabricChannel(CodecChannel):
     def _register_link(self, peer_role: str, sock: socket.socket) -> None:
         # Callers hold self._grid.
         sock.settimeout(_POLL_S)
-        link = ReliableLink(sock, retry=self._retry)
+        link = ReliableLink(
+            self._wrap_fault(peer_role, sock),
+            retry=self._retry,
+            reconnect=self._make_reconnect(peer_role),
+        )
         self._links[peer_role] = link
         thread = threading.Thread(
             target=self._recv_loop,
@@ -272,6 +345,91 @@ class FabricChannel(CodecChannel):
         )
         self._rx_threads[peer_role] = thread
         thread.start()
+
+    def _wrap_fault(self, peer_role: str, sock: socket.socket):
+        """Wrap (or re-wrap) the socket toward ``peer_role`` in its fault
+        schedule.  The wrapper is created once per peer and rebound across
+        reconnects, so the DATA-frame counter keeps counting through the
+        socket swap and later scheduled faults stay armed."""
+        plan = self._fault_plans.get(peer_role)
+        if plan is None:
+            return sock
+        wrapper = self._fault_socks.get(peer_role)
+        if wrapper is None:
+            wrapper = FaultySocket(sock, plan)
+            self._fault_socks[peer_role] = wrapper
+            return wrapper
+        return wrapper.rebind(sock)
+
+    def _idle_polls_for(self, peer_role: str) -> int | None:
+        if self._idle_nak_polls is None:
+            return None
+        if (
+            self._idle_nak_peers is not None
+            and peer_role not in self._idle_nak_peers
+        ):
+            return None
+        return self._idle_nak_polls
+
+    def _make_reconnect(self, peer_role: str):
+        """The per-link reconnector: redial or await the peer's redial.
+
+        Reconnect direction is deterministic — the lower-named role of a
+        pair redials (it holds the peer's listener port), the higher-named
+        role waits for ``_admit`` to hand over the fresh socket.  Both
+        sides re-run the hello handshake, then :class:`ReliableLink`'s
+        recovery performs the RESUME exchange and replays unacked frames.
+        """
+        if self.role < peer_role:
+            if peer_role not in self._ports:
+                return None  # manually wired link: nothing to redial
+
+            def _redial() -> socket.socket:
+                fresh = socket.create_connection(
+                    ("127.0.0.1", self._ports[peer_role]),
+                    timeout=self._timeout,
+                )
+                try:
+                    fresh.settimeout(min(self._timeout, 10.0))
+                    fresh.sendall(codec.encode_hello(sorted(self.local_parties)))
+                    acked_by = self._hello(fresh)  # the hello-ack
+                    if acked_by != peer_role:
+                        raise FatalTransportError(
+                            f"redialled role {peer_role!r} but {acked_by!r} "
+                            f"answered — mis-wired port map"
+                        )
+                except BaseException:
+                    try:
+                        fresh.close()
+                    except OSError:
+                        pass
+                    raise
+                fresh.settimeout(_POLL_S)
+                return self._wrap_fault(peer_role, fresh)
+
+            return _redial
+
+        def _reaccept() -> socket.socket:
+            # A redial that lands before this side noticed the link died
+            # is refused by _admit like any crossing dial; the dialer's
+            # seeded backoff retries until this flag is up.
+            with self._grid:
+                self._awaiting_reconnect.add(peer_role)
+                for _ in range(_RECONNECT_WAIT_SLICES):
+                    if peer_role in self._reconnect_pending or self._closing:
+                        break
+                    self._grid.wait(_POLL_S)
+                fresh = self._reconnect_pending.pop(peer_role, None)
+                if fresh is None:
+                    raise TransportTimeout(
+                        f"no redial from {peer_role!r} arrived within the "
+                        f"reconnect window"
+                    )
+                self._awaiting_reconnect.discard(peer_role)
+            fresh.settimeout(_POLL_S)
+            return self._wrap_fault(peer_role, fresh)
+
+        return _reaccept
 
     def _hello(self, sock: socket.socket) -> str:
         """Read the peer's hello and resolve it to a role in the topology."""
@@ -318,6 +476,24 @@ class FabricChannel(CodecChannel):
         sock.settimeout(min(self._timeout, 10.0))
         peer_role = self._hello(sock)
         with self._grid:
+            if (
+                peer_role in self._links
+                and peer_role in self._awaiting_reconnect
+            ):
+                # Link-death recovery: the lower-named peer redialled and
+                # this side's reconnector is waiting for the handoff.
+                # Complete the hello and deposit the fresh socket; a newer
+                # redial supersedes any undelivered one.
+                sock.sendall(codec.encode_hello(sorted(self.local_parties)))
+                stale = self._reconnect_pending.pop(peer_role, None)
+                if stale is not None:
+                    try:
+                        stale.close()
+                    except OSError:
+                        pass
+                self._reconnect_pending[peer_role] = sock
+                self._grid.notify_all()
+                return
             if peer_role in self._links or (
                 self.role < peer_role and peer_role in self._dialing
             ):
@@ -407,7 +583,11 @@ class FabricChannel(CodecChannel):
     def _recv_loop(self, peer_role: str, link: ReliableLink) -> None:
         try:
             while True:
-                frame = link.recv_frame_idle(lambda: self._closing)
+                frame = link.recv_frame_idle(
+                    lambda: self._closing,
+                    recover_ok=lambda: not (self._closing or self._draining),
+                    idle_nak_polls=self._idle_polls_for(peer_role),
+                )
                 if frame is None:
                     return  # clean stop
                 msg = codec.decode_message(frame, key_ring=self.key_ring)
@@ -420,8 +600,19 @@ class FabricChannel(CodecChannel):
         except (TransportDisconnected, OSError):
             if self._closing or self._draining:
                 return  # peer finished and left: nothing owed either way
+            # The link already burnt its whole reconnect budget inside
+            # recv_frame_idle; a FIN-less death that stays dead is a
+            # vanished peer, named here so recv()/shutdown() fail with the
+            # role instead of hanging until the protocol deadline.
             with self._mail_cv:
-                self._rx_errors.append((peer_role, traceback.format_exc()))
+                self._rx_errors.append(
+                    (
+                        peer_role,
+                        f"peer {peer_role!r} unreachable — reconnect budget "
+                        f"spent without re-establishing the link\n"
+                        f"{traceback.format_exc()}",
+                    )
+                )
                 self._mail_cv.notify_all()
         except BaseException:
             with self._mail_cv:
@@ -469,7 +660,19 @@ class FabricChannel(CodecChannel):
         if self._sender is not None:
             self._sender.submit(peer_role, frame)
         else:
+            self._send_to_peer(peer_role, frame)
+
+    def _send_to_peer(self, peer_role: str, frame: bytes) -> None:
+        try:
             self._ensure_link(peer_role).send_frame(frame)
+        except TransportDisconnected as exc:
+            # The link's bounded reconnect already ran and failed: the
+            # peer is gone, and no amount of protocol-level retrying can
+            # bring the frame stream back — fail with the role named.
+            raise FatalTransportError(
+                f"peer {peer_role!r} unreachable — reconnect budget spent "
+                f"({exc})"
+            ) from exc
 
     def recv(self, receiver: str, tag: str | None = None) -> object:
         if receiver not in self.local_parties:
@@ -559,6 +762,15 @@ class FabricChannel(CodecChannel):
                 time.sleep(0.01)
         finally:
             self._closing = True
+            with self._grid:
+                pending = list(self._reconnect_pending.values())
+                self._reconnect_pending.clear()
+                self._grid.notify_all()
+            for sock in pending:
+                try:
+                    sock.close()
+                except OSError:
+                    pass
             for link in self._links.values():
                 try:
                     link.sock.close()
@@ -568,9 +780,18 @@ class FabricChannel(CodecChannel):
                 self._listener.close()
             except OSError:
                 pass
-            for thread in self._rx_threads.values():
+            # A thread that outlives its join is a wedged receiver (or
+            # acceptor) — record it loudly instead of returning as if the
+            # endpoint wound down cleanly.
+            wedged = []
+            for peer_role, thread in self._rx_threads.items():
                 thread.join(timeout=5.0)
+                if thread.is_alive():
+                    wedged.append(f"receiver {self.role!r}<-{peer_role!r}")
             self._acceptor.join(timeout=5.0)
+            if self._acceptor.is_alive():
+                wedged.append(f"acceptor {self.role!r}")
+            self._wedged = wedged
         with self._mail_cv:
             self._check_rx()
             leftovers = {
@@ -580,6 +801,11 @@ class FabricChannel(CodecChannel):
             raise FatalTransportError(
                 f"protocol ended with undelivered messages pending for "
                 f"{leftovers}"
+            )
+        if self._wedged:
+            raise FatalTransportError(
+                f"fabric shutdown left threads wedged past their 5s join: "
+                f"{', '.join(self._wedged)}"
             )
 
 
@@ -599,6 +825,10 @@ def _fabric_endpoint_main(
     record_transcript: bool,
     retry: RetryPolicy | None,
     pipeline: bool,
+    sock_timeout: float | None = None,
+    fault_plans: dict[str, FaultPlan] | None = None,
+    idle_nak_peers=None,
+    resume_from: str | None = None,
 ) -> None:
     """Child-process entry: listen, learn the port map, run, report."""
     listener = None
@@ -616,6 +846,10 @@ def _fabric_endpoint_main(
             retry=retry,
             timeout=timeout,
             pipeline=pipeline,
+            sock_timeout=sock_timeout,
+            fault_plans=fault_plans,
+            idle_nak_peers=idle_nak_peers,
+            resume_from=resume_from,
         )
         result = program(channel, *args)
         channel.shutdown()
@@ -643,6 +877,7 @@ def run_federation(
     retry: RetryPolicy | None = None,
     fault_plans: dict | None = None,
     pipeline: bool = False,
+    resume_from: str | None = None,
 ) -> dict[str, object]:
     """Run ``program`` on one OS process per role and gather the results.
 
@@ -654,15 +889,26 @@ def run_federation(
 
     * ``mirror=True`` (default for exactly two roles): the lockstep
       mirrored tier of :mod:`repro.comm.transport` — both processes run
-      the *same* program and verify each other's frames.  This is the
-      only mode supporting ``fault_plans`` and ``sock_timeout``, and
-      ``link_stats[role]`` is that endpoint's single-link ledger.
+      the *same* program and verify each other's frames.
+      ``fault_plans`` is keyed by role name and faults that endpoint's
+      single outbound socket; ``link_stats[role]`` is that endpoint's
+      single-link ledger.
     * ``mirror=False`` (default for three or more roles): the fabric —
       each process executes only its parties' protocol side over the
       lazily-dialled link grid, and ``link_stats[role]`` maps *peer
-      roles* to per-link ledgers.  ``pipeline`` pre-enables async sends
-      on every endpoint (programs can also toggle
-      ``channel.set_pipeline``).
+      roles* to per-link ledgers.  ``fault_plans`` addresses *directed
+      links*: a ``(sender, receiver)`` key (role or party names) faults
+      that one direction of the pair's duplex link, a bare role is
+      shorthand for every outbound link of that endpoint (see
+      :func:`repro.comm.faults.per_link_plans`).  ``sock_timeout``
+      bounds receiver idle patience on fault-armed links (idle-NAK loss
+      detection); clean links keep infinite patience so their ledgers
+      stay at zero.  ``resume_from`` hands each endpoint the per-role
+      checkpoint path ``f"{resume_from}.{role}"`` as
+      ``channel.resume_from``, from which programs restore their local
+      parties (see :func:`repro.core.trainer.train_multiparty`).
+      ``pipeline`` pre-enables async sends on every endpoint (programs
+      can also toggle ``channel.set_pipeline``).
 
     The program contract differs between the modes: mirrored programs
     are written as the full interleaved protocol, fabric programs must
@@ -679,11 +925,19 @@ def run_federation(
     mp = multiprocessing.get_context(start_method)
     result_queue = mp.Queue()
 
+    if sock_timeout is not None and sock_timeout <= 0:
+        raise ValueError("sock_timeout must be positive")
+
     if mirror:
         if len(topology.roles) != 2:
             raise ValueError(
                 f"mirrored lockstep supports exactly two endpoints, got "
                 f"{sorted(topology.roles)}; pass mirror=False for the fabric"
+            )
+        if resume_from is not None:
+            raise ValueError(
+                "resume_from is fabric-mode only: mirrored programs manage "
+                "their own TrainConfig.checkpoint_path"
             )
         listener_role = (
             "host" if "host" in topology.roles else sorted(topology.roles)[0]
@@ -713,16 +967,22 @@ def run_federation(
             for role, parties in topology.roles.items()
         }
     else:
+        # Directed per-link fault plans: normalise the addressing, then
+        # arm idle-NAK loss detection on exactly the links a plan touches
+        # (either direction) — clean links keep their zero ledgers.
+        link_plans: dict[str, dict[str, FaultPlan]] = {}
+        idle_peers: dict[str, set[str]] = {role: set() for role in topology.roles}
         if fault_plans:
-            raise ValueError(
-                "fault_plans is mirror-mode only: fabric fault injection "
-                "is not supported yet"
-            )
-        if sock_timeout is not None:
-            raise ValueError(
-                "sock_timeout is mirror-mode only: fabric sockets poll on "
-                "a fixed short slice"
-            )
+            aliases = {
+                party: role
+                for role, parties in topology.roles.items()
+                for party in parties
+            }
+            link_plans = per_link_plans(fault_plans, topology.roles, aliases)
+            for sender_role, links in link_plans.items():
+                for receiver_role in links:
+                    idle_peers[sender_role].add(receiver_role)
+                    idle_peers[receiver_role].add(sender_role)
         port_report_queue = mp.Queue()
         port_map_queues = {role: mp.Queue() for role in topology.roles}
         children = {
@@ -740,6 +1000,10 @@ def run_federation(
                     record_transcript,
                     retry,
                     pipeline,
+                    sock_timeout,
+                    link_plans.get(role),
+                    frozenset(idle_peers[role]),
+                    None if resume_from is None else f"{resume_from}.{role}",
                 ),
                 daemon=True,
                 name=f"blindfl-{role}",
@@ -753,18 +1017,44 @@ def run_federation(
     if not mirror:
         # Gather every endpoint's listening port, then broadcast the full
         # map — link establishment itself stays lazy (dial on first send).
+        # The gather polls child liveness in short slices: an endpoint
+        # that dies before reporting fails the grid immediately, with the
+        # dead role named, instead of burning the whole timeout.
         ports: dict[str, int] = {}
-        try:
-            for _ in children:
-                role, port = port_report_queue.get(timeout=timeout)
+        # repro: nondeterministic-ok port-gather deadline — a liveness
+        # watchdog on federation startup, outside protocol state
+        deadline = time.monotonic() + timeout
+        while len(ports) < len(children):
+            try:
+                role, port = port_report_queue.get(timeout=_POLL_S)
                 ports[role] = port
-        except queue_mod.Empty:
-            for child in children.values():
-                child.terminate()
-            missing = sorted(set(children) - set(ports))
-            raise FatalTransportError(
-                f"endpoints {missing} never reported a listening port"
-            ) from None
+                continue
+            except queue_mod.Empty:
+                pass
+            dead = {
+                role: child.exitcode
+                for role, child in children.items()
+                if role not in ports and child.exitcode is not None
+            }
+            if dead:
+                for child in children.values():
+                    child.terminate()
+                detail = ", ".join(
+                    f"{role} (exit code {code})"
+                    for role, code in sorted(dead.items())
+                )
+                raise FatalTransportError(
+                    f"endpoint died before reporting a listening port: "
+                    f"{detail}"
+                )
+            # repro: nondeterministic-ok port-gather countdown
+            if time.monotonic() >= deadline:
+                for child in children.values():
+                    child.terminate()
+                missing = sorted(set(children) - set(ports))
+                raise FatalTransportError(
+                    f"endpoints {missing} never reported a listening port"
+                )
         for role_queue in port_map_queues.values():
             role_queue.put(ports)
 

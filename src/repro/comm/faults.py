@@ -45,6 +45,7 @@ __all__ = [
     "FaultyChannel",
     "flip_bit",
     "corrupt_codec_frame",
+    "per_link_plans",
 ]
 
 FAULT_ACTIONS = ("drop", "duplicate", "corrupt", "delay", "disconnect")
@@ -152,6 +153,69 @@ class FaultPlan:
 
     def __bool__(self) -> bool:
         return bool(self.events)
+
+
+def per_link_plans(
+    fault_plans: dict,
+    roles,
+    aliases: dict[str, str] | None = None,
+) -> dict[str, dict[str, "FaultPlan"]]:
+    """Normalise fabric fault addressing to ``{sender: {receiver: plan}}``.
+
+    ``fault_plans`` keys address *directed* fabric links: a
+    ``(sender_role, receiver_role)`` pair faults that one outbound
+    direction, while a bare sender role is shorthand for every outbound
+    link of that role.  ``aliases`` maps alternate names onto roles (the
+    fabric passes its party→home-role map, so ``("A1", "B")`` addresses
+    the link between those parties' endpoints).  Explicit pairs win over
+    the shorthand for the same link.  Faults are injected on the sender's
+    side of the duplex socket, so each direction of a link carries its
+    own independent schedule (and frame counter).
+    """
+    roles = sorted(roles)
+    role_set = set(roles)
+    aliases = aliases or {}
+    if len(role_set) < 2:
+        raise ValueError("per-link fault plans need at least two fabric roles")
+    plans: dict[str, dict[str, FaultPlan]] = {role: {} for role in roles}
+
+    def _check(key, name) -> str:
+        role = name if name in role_set else aliases.get(name)
+        if role is None:
+            raise ValueError(
+                f"fault plan key {key!r} names unknown fabric role {name!r}; "
+                f"roles are {roles}"
+            )
+        return role
+
+    pairs: list[tuple[tuple[str, str], FaultPlan]] = []
+    for key, plan in sorted(fault_plans.items(), key=lambda kv: str(kv[0])):
+        if not isinstance(plan, FaultPlan):
+            raise ValueError(
+                f"fault plan for {key!r} must be a FaultPlan, "
+                f"got {type(plan).__name__}"
+            )
+        if isinstance(key, str):
+            sender = _check(key, key)
+            for receiver in roles:
+                if receiver != sender:
+                    plans[sender][receiver] = plan
+            continue
+        if isinstance(key, tuple) and len(key) == 2:
+            sender, receiver = (_check(key, r) for r in key)
+            if sender == receiver:
+                raise ValueError(
+                    f"fault plan key {key!r} must name two distinct roles"
+                )
+            pairs.append(((sender, receiver), plan))
+            continue
+        raise ValueError(
+            f"fault plan key {key!r} must be a role name or a "
+            "(sender_role, receiver_role) pair"
+        )
+    for (sender, receiver), plan in pairs:
+        plans[sender][receiver] = plan
+    return {role: links for role, links in plans.items() if links}
 
 
 class FaultySocket:

@@ -283,6 +283,12 @@ class ReliableLink:
         graceful_close: bool = False,
     ):
         self.sock = sock
+        # Socket generation: bumped under the lock on every successful
+        # reconnect.  A thread that observed a failure on generation N
+        # passes N into _recover_connection; if another thread already
+        # swapped in generation N+1, the stale recovery is a no-op
+        # instead of tearing down the fresh socket.
+        self.sock_gen = 0
         self.retry = retry or RetryPolicy()
         self.reconnect = reconnect
         self.on_reconnect = on_reconnect
@@ -418,31 +424,68 @@ class ReliableLink:
             # Sequence gap: the frames in between were dropped in transit.
             self._send_nak()
 
-    def recv_frame_idle(self, should_stop) -> bytes | None:
+    def recv_frame_idle(
+        self,
+        should_stop,
+        *,
+        recover_ok=None,
+        idle_nak_polls: int | None = None,
+    ) -> bytes | None:
         """Deliver the next in-order frame on a link with no lockstep clock.
 
         Fabric receiver threads cannot read meaning into a socket timeout
         — an idle link between protocol steps is normal, not a crashed
         peer — so a timeout here just polls ``should_stop`` and keeps
         listening: no NAK, no counter bump, the clean-link ledger stays
-        untouched.  Corruption and sequence gaps still NAK immediately
-        (this receiver always knows the next sequence number it needs),
-        and NAK/RESUME/FIN control traffic is serviced in place.  Returns
-        ``None`` when ``should_stop()`` turns true while idle; a dropped
-        connection surfaces as :class:`TransportDisconnected` for the
-        caller to classify (clean peer exit vs. mid-protocol death).
+        untouched.  On a fault-armed link, ``idle_nak_polls`` bounds that
+        patience: after that many *consecutive* idle poll slices the
+        receiver NAKs its next expected sequence number (and counts a
+        timeout), so a tail-dropped frame — a loss no later frame's
+        sequence gap will ever reveal — gets retransmitted instead of
+        deadlocking the protocol.  Corruption and sequence gaps still NAK
+        immediately, and NAK/RESUME/FIN control traffic is serviced in
+        place.  Returns ``None`` when ``should_stop()`` turns true while
+        idle.  A dropped connection recovers in place (bounded reconnect
+        under the link's retry policy) when ``recover_ok`` allows it;
+        otherwise — no recover predicate, recovery declined, or the
+        reconnect budget spent — it surfaces as
+        :class:`TransportDisconnected` for the caller to classify (clean
+        peer exit vs. mid-protocol death).
         """
+        idle_polls = 0
         while True:
             if should_stop():
                 return None
+            # Snapshot socket + generation under the lock: recovery holds
+            # it for the whole reconnect, so a reader never starts a read
+            # mid-swap and never consumes the replacement socket's RESUME
+            # exchange; a read that outlives a swap fails on the closed
+            # socket and the stale generation makes its recovery a no-op.
+            with self._lock:
+                gen = self.sock_gen
+                sock = self.sock
             try:
-                etype, seq, ack, payload = self._read_envelope()
+                etype, seq, ack, payload = self._read_envelope(sock)
             except TransportTimeout:
-                continue  # idle link: poll the stop flag, keep listening
+                # Idle link: poll the stop flag, keep listening.
+                idle_polls += 1
+                if idle_nak_polls is not None and idle_polls >= idle_nak_polls:
+                    idle_polls = 0
+                    self._count("timeouts")
+                    self._send_nak()
+                continue
             except LinkCorruptionError:
+                idle_polls = 0
                 self._count("corrupt_dropped")
                 self._send_nak()
                 continue
+            except TransportDisconnected as exc:
+                idle_polls = 0
+                if should_stop() or recover_ok is None or not recover_ok():
+                    raise
+                self._recover_connection(exc, gen=gen)
+                continue
+            idle_polls = 0
             self._note_ack(ack)
             if etype == ENV_NAK:
                 self._count("naks_received")
@@ -466,8 +509,13 @@ class ReliableLink:
                 continue
             self._send_nak()
 
-    def _read_envelope(self) -> tuple[int, int, int, bytes]:
-        header = _recv_exact(self.sock, ENV_HEADER_SIZE)
+    def _read_envelope(self, sock=None) -> tuple[int, int, int, bytes]:
+        # Readers that run concurrently with reconnects (the fabric's
+        # receiver threads) pass an explicit socket snapshot, so a
+        # recovery that swaps self.sock mid-read errors the stale reader
+        # instead of letting it consume the new socket's RESUME exchange.
+        sock = self.sock if sock is None else sock
+        header = _recv_exact(sock, ENV_HEADER_SIZE)
         if header[:2] != ENV_MAGIC:
             raise FatalTransportError(
                 f"link-layer desync: expected envelope magic {ENV_MAGIC!r}, "
@@ -477,7 +525,7 @@ class ReliableLink:
         if etype not in (ENV_DATA, ENV_NAK, ENV_RESUME, ENV_FIN):
             raise FatalTransportError(f"unknown link envelope type 0x{etype:02x}")
         seq, ack, length = struct.unpack(">QQI", header[3:ENV_HEADER_SIZE])
-        rest = _recv_exact(self.sock, length + 4)
+        rest = _recv_exact(sock, length + 4)
         payload, stored = rest[:length], struct.unpack(">I", rest[length:])[0]
         import zlib
 
@@ -520,7 +568,9 @@ class ReliableLink:
 
     # ------------------------------------------------------------- reconnect
 
-    def _recover_connection(self, cause: BaseException) -> None:
+    def _recover_connection(
+        self, cause: BaseException, gen: int | None = None
+    ) -> None:
         """Re-establish the socket, re-handshake, and replay unacked frames.
 
         The whole recovery sequence — dial/accept, protocol re-hello,
@@ -530,49 +580,63 @@ class ReliableLink:
         half-recovered state to the caller.  The abandoned socket is
         closed first so a peer still reading it gets a prompt EOF and
         starts (or restarts) its own recovery.
+
+        Recovery is single-flight: the link lock is held for the whole
+        sequence (reentrantly safe under the send path, which already
+        owns it), and a caller that saw the failure on socket generation
+        ``gen`` returns immediately if another thread has already swapped
+        in a newer socket — tearing down a freshly recovered connection
+        because of a stale error would turn one fault into two.
         """
         if self.reconnect is None:
             raise TransportDisconnected(
                 f"connection lost mid-run and no reconnector is configured "
                 f"({cause})"
             ) from None
-        with _obs.span("link_recovery", cause=type(cause).__name__):
-            self._count("reconnects")
-            last_error: BaseException = cause
-            for delay in self.retry.delays():
-                try:
+        with self._lock:
+            if gen is not None and gen != self.sock_gen:
+                return  # another thread already recovered this socket
+            with _obs.span("link_recovery", cause=type(cause).__name__):
+                self._count("reconnects")
+                last_error: BaseException = cause
+                for delay in self.retry.delays():
                     try:
-                        self.sock.close()
-                    except OSError:
-                        pass
-                    self.sock = self.reconnect()
-                    if self.on_reconnect is not None:
-                        self.on_reconnect()
-                    # RESUME exchange: announce our watermarks, learn the
-                    # peer's, then replay everything it has not acknowledged.
-                    # The envelope goes out raw — _send_env's own recovery
-                    # hook would recurse into this method.
-                    env = encode_envelope(ENV_RESUME, self.send_seq, self.recv_seq)
-                    self.sock.sendall(env)
-                    self._count("envelope_bytes", ENV_OVERHEAD)
-                    etype, seq, ack, _ = self._read_envelope()
-                    if etype != ENV_RESUME:
-                        raise FatalTransportError(
-                            f"expected a RESUME envelope after reconnect, got "
-                            f"type 0x{etype:02x} seq {seq}"
+                        try:
+                            self.sock.close()
+                        except OSError:
+                            pass
+                        self.sock = self.reconnect()
+                        if self.on_reconnect is not None:
+                            self.on_reconnect()
+                        # RESUME exchange: announce our watermarks, learn the
+                        # peer's, then replay everything it has not
+                        # acknowledged.  The envelope goes out raw —
+                        # _send_env's own recovery hook would recurse into
+                        # this method.
+                        env = encode_envelope(
+                            ENV_RESUME, self.send_seq, self.recv_seq
                         )
-                    self._note_ack(ack)
-                except (OSError, RetryableTransportError) as exc:
-                    last_error = exc
-                    time.sleep(delay)
-                    continue
-                self._count("resumes")
-                self._replay_unacked()
-                return
-            raise TransportDisconnected(
-                f"could not re-establish the connection within "
-                f"{self.retry.max_retries} attempts ({last_error})"
-            ) from None
+                        self.sock.sendall(env)
+                        self._count("envelope_bytes", ENV_OVERHEAD)
+                        etype, seq, ack, _ = self._read_envelope()
+                        if etype != ENV_RESUME:
+                            raise FatalTransportError(
+                                f"expected a RESUME envelope after reconnect, "
+                                f"got type 0x{etype:02x} seq {seq}"
+                            )
+                        self._note_ack(ack)
+                    except (OSError, RetryableTransportError) as exc:
+                        last_error = exc
+                        time.sleep(delay)
+                        continue
+                    self.sock_gen += 1
+                    self._count("resumes")
+                    self._replay_unacked()
+                    return
+                raise TransportDisconnected(
+                    f"could not re-establish the connection within "
+                    f"{self.retry.max_retries} attempts ({last_error})"
+                ) from None
 
     def _replay_unacked(self) -> None:
         with self._lock:

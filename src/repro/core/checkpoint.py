@@ -57,6 +57,9 @@ __all__ = [
     "load_checkpoint",
     "restore_checkpoint",
     "model_key_ring",
+    "endpoint_checkpoint_path",
+    "save_endpoint_checkpoint",
+    "restore_endpoint_checkpoint",
 ]
 
 CHECKPOINT_MAGIC = "blindfl-checkpoint"
@@ -263,6 +266,14 @@ def save_checkpoint(path: str, model, optimizer, *, epoch: int,
 
 def load_checkpoint(path: str, key_ring: dict | None = None) -> dict[str, object]:
     """Read and CRC-validate a checkpoint; returns ``{section: payload}``."""
+    return _load_sections(
+        path, key_ring, required={"trainer", "history", "parties", "layers", "top"}
+    )
+
+
+def _load_sections(
+    path: str, key_ring: dict | None, required: set[str]
+) -> dict[str, object]:
     with open(path, "rb") as fh:
         blob = fh.read()
     sections: dict[str, object] = {}
@@ -295,7 +306,7 @@ def load_checkpoint(path: str, key_ring: dict | None = None) -> dict[str, object
         sections[str(name)] = section
     if header is None:
         raise CheckpointError(f"{path!r} is empty")
-    missing = {"trainer", "history", "parties", "layers", "top"} - set(sections)
+    missing = required - set(sections)
     if missing:
         raise CheckpointError(
             f"checkpoint is missing sections {sorted(missing)}"
@@ -380,3 +391,107 @@ def restore_checkpoint(model, optimizer, loader_rng: np.random.Generator,
         order=np.asarray(order, dtype=np.int64),
         history=history,
     )
+
+
+# ---------------------------------------------------------------------------
+# Per-endpoint checkpoints for the N-party fabric.
+#
+# A fabric run has no single process that sees all state: each endpoint
+# writes its *own* file covering exactly its slice — the local model
+# state plus every party object's RNG/blinding stream position *in this
+# process* (each endpoint constructs all Party objects from the
+# federation seed; remote parties' streams sit untouched at their seed
+# state, so snapshotting them is both cheap and exact).  The custody
+# rule is inherited wholesale: sections travel as codec payload frames,
+# so private-key material is structurally unserialisable, and on resume
+# the key owner re-derives ``(p, q)`` from the federation seed when the
+# context is rebuilt.
+
+ENDPOINT_SECTIONS = {"fabric", "parties", "model"}
+
+
+def endpoint_checkpoint_path(base: str, role: str) -> str:
+    """The per-role file of a federation checkpoint family.
+
+    ``run_federation(resume_from=base)`` hands each endpoint exactly this
+    path as ``channel.resume_from``, so programs that write checkpoints
+    with this helper resume without any extra coordination.
+    """
+    return f"{base}.{role}"
+
+
+def save_endpoint_checkpoint(
+    path: str, model, *, step: int, losses
+) -> str:
+    """Persist one fabric endpoint's local training state; atomic replace.
+
+    ``model`` is a fabric model holding a single
+    :class:`~repro.comm.party.VFLContext` (e.g.
+    :class:`~repro.core.multiparty.MultiPartyLR`) whose
+    ``checkpoint_state()`` covers only this endpoint's local actors.
+    ``losses`` is the per-step loss list (``None`` entries off Party B
+    are dropped; the step counter alone reconstructs their count).
+    """
+    ctx = model.ctx
+    party_section = [
+        (name, np_rng_state(party.rng), _blinding_state(party.public_key))
+        for name, party in sorted(ctx.parties.items())
+    ]
+    sections = [
+        (
+            "fabric",
+            (int(step), [float(x) for x in losses if x is not None]),
+        ),
+        ("parties", party_section),
+        ("model", model.checkpoint_state()),
+    ]
+    frames = [codec.encode_payload_frame((CHECKPOINT_MAGIC, CHECKPOINT_VERSION))]
+    frames.extend(
+        codec.encode_payload_frame((name, payload)) for name, payload in sections
+    )
+    tmp = f"{path}.tmp.{os.getpid()}"
+    with open(tmp, "wb") as fh:
+        for frame in frames:
+            fh.write(frame)
+    os.replace(tmp, path)
+    return path
+
+
+def restore_endpoint_checkpoint(path: str, model) -> tuple[int, list[float]]:
+    """Overwrite a freshly rebuilt fabric model from its endpoint file.
+
+    The caller constructs the context and model exactly as the original
+    run did (same federation seed — which is how the key owner's private
+    key reappears without ever touching the disk), then this swaps in
+    the trained state.  Returns ``(step, losses)`` — the batch boundary
+    to resume from and the Party-B losses recorded up to it (empty on
+    endpoints that never see a loss).
+    """
+    ctx = model.ctx
+    ring = {
+        party.public_key.n: party.public_key for party in ctx.parties.values()
+    }
+    sections = _load_sections(path, ring, required=set(ENDPOINT_SECTIONS))
+    saved = {
+        str(name): (rng, blind) for name, rng, blind in sections["parties"]
+    }
+    if set(saved) != set(ctx.parties):
+        raise CheckpointError(
+            f"endpoint checkpoint covers parties {sorted(saved)} but this "
+            f"process holds {sorted(ctx.parties)}"
+        )
+    restored_keys: set[int] = set()
+    for name, party in ctx.parties.items():
+        rng_state, blind_state = saved[name]
+        set_np_rng_state(party.rng, rng_state)
+        if id(party.public_key) not in restored_keys:
+            restored_keys.add(id(party.public_key))
+            _restore_blinding(party.public_key, blind_state)
+    try:
+        model.load_checkpoint_state(sections["model"])
+    except ValueError as exc:
+        raise CheckpointError(
+            f"model rejected its endpoint checkpoint state: {exc}"
+        ) from exc
+    step, losses = sections["fabric"]
+    return int(step), [float(x) for x in losses]

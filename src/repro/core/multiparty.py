@@ -298,6 +298,96 @@ class MultiPartyMatMulSource(SourceLayer):
         self._pending_a = {}
         self._pending_b = {}
 
+    # ------------------------------------------------------------- checkpointing
+
+    def checkpoint_state(self) -> tuple:
+        """Codec-serialisable snapshot of this endpoint's slice of the layer.
+
+        Only *local* actors' state is captured — an A(i) endpoint snapshots
+        its own pieces plus the cached ``[[V_A(i)]]_B`` ciphertext, the key
+        owner snapshots ``U_B`` and every ``V_A(i)``/``[[V_B(i)]]_{A(i)}``
+        — together with the step counter the protocol tags derive from.
+        Batch-transient state (``x_cache``, pendings) is provably stale at
+        the batch boundaries checkpoints are written on and is reset by
+        :meth:`load_checkpoint_state`.
+        """
+        a_section = [
+            (name, st.u, st.v_b, st.vel_u, st.enc_v_own)
+            for name, st in sorted(self._a.items())
+        ]
+        b_section = (
+            None
+            if self._b is None
+            else (
+                self._b.u,
+                self._b.vel_u,
+                sorted(self._b.v_a.items()),
+                sorted(self._b.vel_v_a.items()),
+                sorted(self._b.enc_v_b.items()),
+            )
+        )
+        return ("mp-matmul", self._step, a_section, b_section)
+
+    def load_checkpoint_state(self, state: tuple) -> None:
+        kind, step, a_section, b_section = state
+        if kind != "mp-matmul":
+            raise ValueError(
+                f"layer {self.name!r} is a multi-party MatMul source but "
+                f"the checkpoint holds a {kind!r} layer"
+            )
+        saved_a = {str(name): rest for name, *rest in a_section}
+        if set(saved_a) != set(self._a):
+            raise ValueError(
+                f"layer {self.name!r}: checkpoint covers A parties "
+                f"{sorted(saved_a)} but this endpoint hosts "
+                f"{sorted(self._a)}"
+            )
+        if (self._b is None) != (b_section is None):
+            raise ValueError(
+                f"layer {self.name!r}: checkpoint and endpoint disagree on "
+                f"hosting Party B"
+            )
+        self._step = int(step)
+        for name, st in self._a.items():
+            u, v_b, vel_u, enc_v_own = saved_a[name]
+            u = np.asarray(u, dtype=np.float64)
+            if u.shape != st.u.shape:
+                raise ValueError(
+                    f"layer {self.name!r}: checkpoint piece shape {u.shape} "
+                    f"does not match the model's {st.u.shape}"
+                )
+            st.u = u
+            st.v_b = np.asarray(v_b, dtype=np.float64)
+            st.vel_u = np.asarray(vel_u, dtype=np.float64)
+            st.enc_v_own = enc_v_own
+            st.x_cache = None
+        if self._b is not None:
+            u, vel_u, v_a, vel_v_a, enc_v_b = b_section
+            u = np.asarray(u, dtype=np.float64)
+            if u.shape != self._b.u.shape:
+                raise ValueError(
+                    f"layer {self.name!r}: checkpoint U_B shape {u.shape} "
+                    f"does not match the model's {self._b.u.shape}"
+                )
+            saved_v_a = {str(k): v for k, v in v_a}
+            if set(saved_v_a) != set(self._b.v_a):
+                raise ValueError(
+                    f"layer {self.name!r}: checkpoint V_A pieces cover "
+                    f"{sorted(saved_v_a)} but the model manages "
+                    f"{sorted(self._b.v_a)}"
+                )
+            self._b.u = u
+            self._b.vel_u = np.asarray(vel_u, dtype=np.float64)
+            self._b.v_a = {
+                k: np.asarray(v, dtype=np.float64) for k, v in saved_v_a.items()
+            }
+            self._b.vel_v_a = {
+                str(k): np.asarray(v, dtype=np.float64) for k, v in vel_v_a
+            }
+            self._b.enc_v_b = {str(k): v for k, v in enc_v_b}
+            self._b.x_cache = None
+        self.zero_pending()
+
     # -------------------------------------------------------------- introspection
 
     def federated_parameters(self) -> list[FederatedParameter]:
@@ -366,6 +456,21 @@ class MultiPartyLR:
         self.source = MultiPartyMatMulSource(ctx, in_dims, in_b, 1, name="mp-lr")
         self.bias = 0.0
         self._vel_bias = 0.0
+
+    def checkpoint_state(self) -> tuple:
+        """Bias term (Party B state, but a float travels harmlessly) plus
+        the source layer's per-endpoint snapshot."""
+        return (
+            float(self.bias),
+            float(self._vel_bias),
+            self.source.checkpoint_state(),
+        )
+
+    def load_checkpoint_state(self, state: tuple) -> None:
+        bias, vel_bias, source_state = state
+        self.source.load_checkpoint_state(source_state)
+        self.bias = float(bias)
+        self._vel_bias = float(vel_bias)
 
     def forward(
         self, x_by_party: dict[str, object], train: bool = True

@@ -34,7 +34,14 @@ from repro.tensor.losses import bce_with_logits, softmax_cross_entropy
 from repro.tensor.tensor import Tensor, no_grad
 from repro.utils.metrics import accuracy, roc_auc
 
-__all__ = ["TrainConfig", "History", "train_federated", "evaluate_federated", "predict"]
+__all__ = [
+    "TrainConfig",
+    "History",
+    "train_federated",
+    "train_multiparty",
+    "evaluate_federated",
+    "predict",
+]
 
 
 @dataclass
@@ -253,6 +260,74 @@ def train_federated(
         # so the dict view below is the complete trace.
         history.trace = tracer.to_dicts()
     return history
+
+
+def train_multiparty(
+    model,
+    x_by_party: dict[str, object],
+    labels: np.ndarray | None,
+    config: TrainConfig,
+    *,
+    steps: int,
+    resume_from: str | None = None,
+) -> list[float | None]:
+    """Fixed-batch SGD loop for the N-party models (:mod:`repro.core.multiparty`).
+
+    Runs ``steps`` calls to ``model.train_step`` on one aligned batch and
+    returns the per-step losses (``None`` entries on endpoints where Party B
+    is remote — loss only materialises at B).  Honours the same
+    checkpointing knobs as :func:`train_federated`, adapted to the
+    per-endpoint fabric layout: when ``config.checkpoint_path`` +
+    ``config.checkpoint_every`` are set, each endpoint writes its *own*
+    local-parties checkpoint (see
+    :func:`repro.core.checkpoint.save_endpoint_checkpoint`) every N steps,
+    and ``resume_from`` restores such a file onto a freshly built,
+    identically seeded model so the continued trajectory is bit-identical
+    to an uninterrupted run.  ``config.crash_after_batches`` injects a
+    :class:`~repro.core.checkpoint.TrainingInterrupted` after that many
+    steps have run in this process (checkpoint-then-crash ordering, as in
+    :func:`train_federated`).
+    """
+    from repro.core.checkpoint import (
+        TrainingInterrupted,
+        restore_endpoint_checkpoint,
+        save_endpoint_checkpoint,
+    )
+
+    start = 0
+    losses: list[float | None] = []
+    if resume_from is not None:
+        start, saved = restore_endpoint_checkpoint(resume_from, model)
+        if model.ctx.is_local("B"):
+            losses = list(saved)
+        else:
+            # Non-B endpoints never see losses; keep index parity with B.
+            losses = [None] * start
+    ran = 0
+    for k in range(start, steps):
+        losses.append(
+            model.train_step(
+                x_by_party, labels, lr=config.lr, momentum=config.momentum
+            )
+        )
+        ran += 1
+        if (
+            config.checkpoint_path is not None
+            and config.checkpoint_every > 0
+            and (k + 1) % config.checkpoint_every == 0
+        ):
+            save_endpoint_checkpoint(
+                config.checkpoint_path, model, step=k + 1, losses=losses
+            )
+        if (
+            config.crash_after_batches is not None
+            and ran >= config.crash_after_batches
+        ):
+            raise TrainingInterrupted(
+                f"injected crash after {ran} fabric steps (step {k + 1})",
+                checkpoint_path=config.checkpoint_path,
+            )
+    return losses
 
 
 def _set_packing(model: FederatedModule, enabled: bool) -> None:

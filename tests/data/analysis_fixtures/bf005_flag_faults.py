@@ -1,0 +1,20 @@
+# analysis-fixture: path=src/repro/comm/faults.py expect=BF005,BF005
+"""Must-flag faults: the chaos layer may not raise catch-alls — its
+induced failures land in the transport recovery loops, which key on the
+exception class to pick retry vs abort."""
+
+
+class FaultySocket:
+    def __init__(self, sock, plan):
+        self.sock = sock
+        self.plan = plan
+
+    def sendall(self, data):
+        if self.plan is None:
+            raise RuntimeError("no fault plan bound")  # catch-all
+        self.sock.sendall(data)
+
+    def rebind(self, sock):
+        if sock is None:
+            raise Exception("rebind needs a live socket")  # bare Exception
+        self.sock = sock

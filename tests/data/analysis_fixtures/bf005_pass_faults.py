@@ -1,0 +1,26 @@
+# analysis-fixture: path=src/repro/comm/faults.py expect=
+"""Must-pass faults: injected failures raise the real socket exceptions
+the recovery loops classify (``ConnectionResetError``/``BrokenPipeError``
+are retryable-shaped at the OS level), and plan misconfiguration raises
+``ValueError`` — an API-misuse signal, not a link failure."""
+
+
+class FaultySocket:
+    def __init__(self, sock, plan):
+        if plan is None:
+            raise ValueError("FaultySocket needs a FaultPlan")
+        self.sock = sock
+        self.plan = plan
+
+    def sendall(self, data):
+        action = self.plan.next_action()
+        if action == "disconnect":
+            raise ConnectionResetError("injected disconnect")
+        if action == "sever":
+            raise BrokenPipeError("injected severed pipe")
+        self.sock.sendall(data)
+
+    def rebind(self, sock):
+        if sock is None:
+            raise ValueError("rebind needs a live socket")
+        self.sock = sock

@@ -150,14 +150,59 @@ def test_topology_validation():
 
 
 def test_run_federation_mode_validation():
+    from repro.comm.faults import FaultPlan
+
+    plan = FaultPlan.seeded(1, frames=10, drop_rate=0.5)
     with pytest.raises(ValueError, match="exactly two endpoints"):
         run_federation(train_program, roles=GRID3, mirror=True)
-    with pytest.raises(ValueError, match="mirror-mode only"):
+    with pytest.raises(ValueError, match="fabric-mode only"):
+        run_federation(
+            train_program,
+            roles={"guest": ("A1", "A2"), "host": ("B",)},
+            resume_from="ckpt",
+        )
+    with pytest.raises(ValueError, match="must be a FaultPlan"):
         run_federation(
             train_program, roles=GRID3, fault_plans={"ep_b": object()}
         )
-    with pytest.raises(ValueError, match="mirror-mode only"):
-        run_federation(train_program, roles=GRID3, sock_timeout=5.0)
+    with pytest.raises(ValueError, match="unknown fabric role"):
+        run_federation(
+            train_program, roles=GRID3, fault_plans={("ep_zz", "ep_b"): plan}
+        )
+    with pytest.raises(ValueError, match="two distinct roles"):
+        run_federation(
+            train_program, roles=GRID3, fault_plans={("ep_b", "B"): plan}
+        )
+    with pytest.raises(ValueError, match="role name or a"):
+        run_federation(
+            train_program,
+            roles=GRID3,
+            fault_plans={("ep_a1", "ep_a2", "ep_b"): plan},
+        )
+    with pytest.raises(ValueError, match="sock_timeout must be positive"):
+        run_federation(train_program, roles=GRID3, sock_timeout=0.0)
+
+
+def test_per_link_plan_addressing():
+    """Directed pairs, party-name aliases, and role shorthand normalise."""
+    from repro.comm.faults import FaultPlan, per_link_plans
+
+    a = FaultPlan.seeded(1, frames=5, drop_rate=0.5)
+    b = FaultPlan.seeded(2, frames=5, corrupt_rate=0.5)
+    aliases = {p: r for r, ps in GRID3.items() for p in ps}
+    plans = per_link_plans(
+        {("A1", "B"): a, "ep_b": b}, GRID3, aliases
+    )
+    # The pair key targets one direction; the shorthand fans out to every
+    # outbound link of the key owner.
+    assert plans["ep_a1"] == {"ep_b": a}
+    assert plans["ep_b"] == {"ep_a1": b, "ep_a2": b}
+    assert "ep_a2" not in plans
+    # An explicit pair overrides the shorthand for the same link.
+    plans = per_link_plans(
+        {"ep_b": b, ("ep_b", "ep_a2"): a}, GRID3, aliases
+    )
+    assert plans["ep_b"] == {"ep_a1": b, "ep_a2": a}
 
 
 def test_fabric_endpoint_rejects_remote_actors():

@@ -220,6 +220,56 @@ def test_mixed_fault_schedule_still_delivers_everything():
     assert applied == {"drop", "corrupt", "duplicate", "delay"}
 
 
+def test_faulty_socket_rebind_preserves_schedule_across_reconnect():
+    """The fault-frame counter survives a real reconnect: an injected
+    disconnect at frame 2 swaps the socket via ``rebind``, and the
+    corrupt scheduled for frame 4 still fires on the *new* connection.
+    A counter that reset at the swap would replay frame indices and
+    re-fire the disconnect instead."""
+    plan = FaultPlan(events=(FaultEvent(2, "disconnect"),
+                             FaultEvent(4, "corrupt")))
+    raw_a, raw_b = socket.socketpair()
+    spare_a, spare_b = socket.socketpair()
+    for s in (raw_a, raw_b, spare_a, spare_b):
+        s.settimeout(0.25)
+    fsock = FaultySocket(raw_a, plan)
+    link_a = ReliableLink(
+        fsock,
+        retry=RetryPolicy(max_retries=8, base_delay=0.02, max_delay=0.2,
+                          jitter=0.1, seed=1),
+        reconnect=lambda: fsock.rebind(spare_a),
+    )
+    link_b = ReliableLink(
+        raw_b,
+        retry=RetryPolicy(max_retries=8, base_delay=0.02, max_delay=0.2,
+                          jitter=0.1, seed=2),
+        reconnect=lambda: spare_b,
+    )
+    frames = _frames(5)
+    try:
+        assert _exchange(link_a, link_b, frames) == frames
+    finally:
+        for s in (raw_a, raw_b, spare_a, spare_b):
+            try:
+                s.close()
+            except OSError:
+                pass
+    # The link recovered onto the SAME wrapper, now bound to the spare.
+    assert link_a.sock is fsock
+    assert fsock._sock is spare_a
+    # Exactly one disconnect fired (index 2 never recurred after the
+    # swap) and the frame-4 corrupt fired on the new socket.
+    assert [a for _, a in fsock.applied if a == "disconnect"] == ["disconnect"]
+    assert (2, "disconnect") in fsock.applied
+    assert (4, "corrupt") in fsock.applied
+    assert link_a.stats.reconnects == 1 and link_a.stats.resumes == 1
+    assert link_b.stats.reconnects == 1
+    # Full delivery despite the swap and the post-swap corruption.
+    assert link_b.stats.data_received == 5
+    assert link_b.stats.corrupt_dropped >= 1
+    assert link_a.stats.retransmits >= 1
+
+
 def test_silent_peer_exhausts_retry_budget_with_retryable_error():
     raw_a, raw_b = socket.socketpair()
     raw_b.settimeout(0.05)
